@@ -1,0 +1,224 @@
+//! Connection-churn statistics (Table II).
+//!
+//! For every measurement client and period the paper reports, over all
+//! recorded connections:
+//!
+//! * type **"All"** — the number of connections and the mean/median of their
+//!   durations (each connection contributes one value), and
+//! * type **"Peer"** — the number of peers with connection information and
+//!   the mean/median of the *per-peer average* connection duration (each
+//!   peer contributes exactly one value).
+//!
+//! It additionally observes that inbound connections vastly outnumber and
+//! outlive outbound ones — evidence that closes are dominated by connection
+//! trimming. [`direction_stats`] reproduces that breakdown.
+
+use measurement::MeasurementDataset;
+use p2pmodel::{CloseReason, PeerId};
+use serde::{Deserialize, Serialize};
+use simclock::Summary;
+use std::collections::BTreeMap;
+
+/// One row pair of Table II for a single client and period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionStats {
+    /// The client the statistics describe.
+    pub client: String,
+    /// Type "All": number of connections.
+    pub all_sum: usize,
+    /// Type "All": mean connection duration in seconds.
+    pub all_avg_secs: f64,
+    /// Type "All": median connection duration in seconds.
+    pub all_median_secs: f64,
+    /// Type "Peer": number of peers with at least one connection.
+    pub peer_sum: usize,
+    /// Type "Peer": mean of per-peer average durations in seconds.
+    pub peer_avg_secs: f64,
+    /// Type "Peer": median of per-peer average durations in seconds.
+    pub peer_median_secs: f64,
+}
+
+/// Inbound/outbound breakdown of the same connections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirectionStats {
+    /// Number of inbound connections.
+    pub inbound: usize,
+    /// Number of outbound connections.
+    pub outbound: usize,
+    /// Mean duration of inbound connections in seconds.
+    pub inbound_avg_secs: f64,
+    /// Mean duration of outbound connections in seconds.
+    pub outbound_avg_secs: f64,
+    /// Fraction of closed connections whose ground-truth close reason is
+    /// connection trimming (local or remote). `None` if the data set carries
+    /// no ground-truth reasons. The paper can only *infer* this; the
+    /// simulator lets us verify the inference.
+    pub trimmed_fraction: Option<f64>,
+}
+
+/// Computes the Table II statistics for one data set.
+///
+/// Only peers with recorded connection information contribute, exactly as in
+/// the paper ("in the statistic, we consider only peers with recorded
+/// connection information").
+pub fn connection_stats(dataset: &MeasurementDataset) -> ConnectionStats {
+    let durations: Vec<f64> = dataset
+        .connections
+        .iter()
+        .map(|c| c.duration_secs())
+        .collect();
+    let all = Summary::from_samples(&durations);
+
+    let mut per_peer: BTreeMap<PeerId, Vec<f64>> = BTreeMap::new();
+    for conn in &dataset.connections {
+        per_peer.entry(conn.peer).or_default().push(conn.duration_secs());
+    }
+    let peer_averages: Vec<f64> = per_peer
+        .values()
+        .map(|durations| durations.iter().sum::<f64>() / durations.len() as f64)
+        .collect();
+    let peer = Summary::from_samples(&peer_averages);
+
+    ConnectionStats {
+        client: dataset.client.clone(),
+        all_sum: all.count,
+        all_avg_secs: all.mean,
+        all_median_secs: all.median,
+        peer_sum: peer.count,
+        peer_avg_secs: peer.mean,
+        peer_median_secs: peer.median,
+    }
+}
+
+/// Computes the inbound/outbound breakdown for one data set.
+pub fn direction_stats(dataset: &MeasurementDataset) -> DirectionStats {
+    let inbound: Vec<f64> = dataset
+        .connections
+        .iter()
+        .filter(|c| c.is_inbound())
+        .map(|c| c.duration_secs())
+        .collect();
+    let outbound: Vec<f64> = dataset
+        .connections
+        .iter()
+        .filter(|c| !c.is_inbound())
+        .map(|c| c.duration_secs())
+        .collect();
+
+    let with_reason = dataset
+        .connections
+        .iter()
+        .filter(|c| c.close_reason.is_some())
+        .count();
+    let trimmed = dataset
+        .connections
+        .iter()
+        .filter(|c| {
+            matches!(
+                c.close_reason,
+                Some(CloseReason::TrimmedLocal) | Some(CloseReason::TrimmedRemote)
+            )
+        })
+        .count();
+    let trimmed_fraction = if with_reason == 0 {
+        None
+    } else {
+        Some(trimmed as f64 / with_reason as f64)
+    };
+
+    DirectionStats {
+        inbound: inbound.len(),
+        outbound: outbound.len(),
+        inbound_avg_secs: Summary::from_samples(&inbound).mean,
+        outbound_avg_secs: Summary::from_samples(&outbound).mean,
+        trimmed_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measurement::ConnectionRecord;
+    use p2pmodel::{ConnectionId, Direction, IpAddress, Multiaddr, Transport};
+    use simclock::SimTime;
+
+    fn conn(id: u64, peer: u64, opened: u64, closed: u64, inbound: bool, reason: Option<CloseReason>) -> ConnectionRecord {
+        ConnectionRecord {
+            id: ConnectionId(id),
+            peer: PeerId::derived(peer),
+            direction: if inbound { Direction::Inbound } else { Direction::Outbound },
+            remote_addr: Multiaddr::new(IpAddress::V4(peer as u32), Transport::Tcp, 4001),
+            opened_at: SimTime::from_secs(opened),
+            closed_at: SimTime::from_secs(closed),
+            open_at_end: false,
+            close_reason: reason,
+        }
+    }
+
+    fn dataset(connections: Vec<ConnectionRecord>) -> MeasurementDataset {
+        let mut ds = MeasurementDataset::new("go-ipfs", true, SimTime::ZERO, SimTime::from_hours(24));
+        ds.connections = connections;
+        ds
+    }
+
+    #[test]
+    fn all_and_peer_statistics_follow_the_papers_definitions() {
+        // Peer A: two connections of 100 s and 300 s (average 200 s).
+        // Peer B: one connection of 600 s.
+        let ds = dataset(vec![
+            conn(1, 1, 0, 100, true, None),
+            conn(2, 1, 200, 500, true, None),
+            conn(3, 2, 0, 600, true, None),
+        ]);
+        let stats = connection_stats(&ds);
+        assert_eq!(stats.all_sum, 3);
+        assert!((stats.all_avg_secs - (100.0 + 300.0 + 600.0) / 3.0).abs() < 1e-9);
+        assert_eq!(stats.all_median_secs, 300.0);
+        assert_eq!(stats.peer_sum, 2);
+        assert!((stats.peer_avg_secs - 400.0).abs() < 1e-9);
+        assert_eq!(stats.peer_median_secs, 400.0);
+        assert_eq!(stats.client, "go-ipfs");
+    }
+
+    #[test]
+    fn empty_dataset_yields_zeroes() {
+        let stats = connection_stats(&dataset(Vec::new()));
+        assert_eq!(stats.all_sum, 0);
+        assert_eq!(stats.peer_sum, 0);
+        assert_eq!(stats.all_avg_secs, 0.0);
+        let dirs = direction_stats(&dataset(Vec::new()));
+        assert_eq!(dirs.inbound, 0);
+        assert_eq!(dirs.outbound, 0);
+        assert_eq!(dirs.trimmed_fraction, None);
+    }
+
+    #[test]
+    fn peer_average_differs_from_all_average_with_skewed_peers() {
+        // One crawler-like peer with many short connections pulls the "All"
+        // average down but contributes only one (small) value to "Peer".
+        let mut connections = vec![conn(0, 99, 0, 100_000, true, None)];
+        for i in 1..=50 {
+            connections.push(conn(i, 1, i * 10, i * 10 + 10, true, None));
+        }
+        let stats = connection_stats(&dataset(connections));
+        assert!(stats.peer_avg_secs > stats.all_avg_secs);
+        assert_eq!(stats.peer_sum, 2);
+        assert_eq!(stats.all_sum, 51);
+    }
+
+    #[test]
+    fn direction_breakdown_counts_and_averages() {
+        let ds = dataset(vec![
+            conn(1, 1, 0, 300, true, Some(CloseReason::TrimmedRemote)),
+            conn(2, 2, 0, 100, true, Some(CloseReason::PeerLeft)),
+            conn(3, 3, 0, 50, false, Some(CloseReason::TrimmedLocal)),
+        ]);
+        let dirs = direction_stats(&ds);
+        assert_eq!(dirs.inbound, 2);
+        assert_eq!(dirs.outbound, 1);
+        assert_eq!(dirs.inbound_avg_secs, 200.0);
+        assert_eq!(dirs.outbound_avg_secs, 50.0);
+        let trimmed = dirs.trimmed_fraction.unwrap();
+        assert!((trimmed - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Metadata fingerprinting (the paper's future-work extension).
+//!
+//! Section IV-B notes that the almost-constant identify metadata (agent
+//! string + announced protocols) could be used to re-identify peers across
+//! PID changes, and Section VI proposes combining such fingerprints with the
+//! other estimators. This module implements that idea: group PIDs by their
+//! `(agent, protocol set, IP)` fingerprint and use the groups as another
+//! network-size estimate.
+
+use measurement::MeasurementDataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A network-size estimate based on metadata fingerprints.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FingerprintEstimate {
+    /// PIDs with known metadata that were considered.
+    pub pids_considered: usize,
+    /// Number of distinct `(agent, protocols)` fingerprints.
+    pub metadata_fingerprints: usize,
+    /// Number of distinct `(agent, protocols, IP)` fingerprints — the
+    /// estimated participant count by this method.
+    pub full_fingerprints: usize,
+    /// Size of the largest full-fingerprint group (e.g. the rotating-PID
+    /// operator whose 2 156 PIDs share agent, protocols and IP).
+    pub largest_group: usize,
+}
+
+/// Groups PIDs by metadata fingerprints.
+///
+/// PIDs without any identify metadata are excluded (they cannot be
+/// fingerprinted), mirroring the paper's caveat that the method needs the
+/// metadata to be known.
+pub fn fingerprint_groups(dataset: &MeasurementDataset) -> FingerprintEstimate {
+    let mut metadata_groups: BTreeMap<String, usize> = BTreeMap::new();
+    let mut full_groups: BTreeMap<String, usize> = BTreeMap::new();
+    let mut considered = 0;
+    for record in dataset.peers.values() {
+        if !record.metadata_known {
+            continue;
+        }
+        considered += 1;
+        let mut protocols = record.protocols.clone();
+        protocols.sort();
+        let metadata_key = format!("{}|{}", record.agent, protocols.join(","));
+        *metadata_groups.entry(metadata_key.clone()).or_insert(0) += 1;
+        let ip = record
+            .addrs
+            .first()
+            .map(|a| a.ip().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        let full_key = format!("{metadata_key}|{ip}");
+        *full_groups.entry(full_key).or_insert(0) += 1;
+    }
+    FingerprintEstimate {
+        pids_considered: considered,
+        metadata_fingerprints: metadata_groups.len(),
+        full_fingerprints: full_groups.len(),
+        largest_group: full_groups.values().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measurement::PeerRecord;
+    use p2pmodel::{IpAddress, Multiaddr, PeerId, Transport};
+    use simclock::SimTime;
+
+    fn peer(label: u64, agent: &str, protocols: &[&str], ip: u32) -> PeerRecord {
+        let mut record = PeerRecord::new(PeerId::derived(label), SimTime::ZERO);
+        record.agent = agent.to_string();
+        record.protocols = protocols.iter().map(|p| p.to_string()).collect();
+        record.metadata_known = !agent.is_empty();
+        record.addrs = vec![Multiaddr::new(IpAddress::V4(ip), Transport::Tcp, 4001)];
+        record
+    }
+
+    fn dataset(peers: Vec<PeerRecord>) -> MeasurementDataset {
+        let mut ds = MeasurementDataset::new("go-ipfs", true, SimTime::ZERO, SimTime::from_days(3));
+        for p in peers {
+            ds.peers.insert(p.peer, p);
+        }
+        ds
+    }
+
+    #[test]
+    fn identical_metadata_and_ip_collapse_into_one_group() {
+        let peers = vec![
+            peer(1, "go-ipfs/0.10.0/a", &["/ipfs/kad/1.0.0"], 1),
+            peer(2, "go-ipfs/0.10.0/a", &["/ipfs/kad/1.0.0"], 1),
+            peer(3, "go-ipfs/0.10.0/a", &["/ipfs/kad/1.0.0"], 2),
+            peer(4, "go-ipfs/0.11.0/b", &["/ipfs/kad/1.0.0"], 3),
+        ];
+        let estimate = fingerprint_groups(&dataset(peers));
+        assert_eq!(estimate.pids_considered, 4);
+        assert_eq!(estimate.metadata_fingerprints, 2);
+        assert_eq!(estimate.full_fingerprints, 3);
+        assert_eq!(estimate.largest_group, 2);
+    }
+
+    #[test]
+    fn protocol_order_does_not_matter() {
+        let peers = vec![
+            peer(1, "go-ipfs/0.10.0/a", &["/a", "/b"], 1),
+            peer(2, "go-ipfs/0.10.0/a", &["/b", "/a"], 1),
+        ];
+        let estimate = fingerprint_groups(&dataset(peers));
+        assert_eq!(estimate.full_fingerprints, 1);
+    }
+
+    #[test]
+    fn unknown_metadata_is_excluded() {
+        let peers = vec![peer(1, "", &[], 1), peer(2, "go-ipfs/0.10.0/a", &[], 2)];
+        let estimate = fingerprint_groups(&dataset(peers));
+        assert_eq!(estimate.pids_considered, 1);
+        assert_eq!(estimate.full_fingerprints, 1);
+    }
+
+    #[test]
+    fn empty_dataset_yields_zero_estimate() {
+        let estimate = fingerprint_groups(&dataset(Vec::new()));
+        assert_eq!(estimate, FingerprintEstimate::default());
+    }
+}

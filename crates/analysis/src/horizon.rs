@@ -1,0 +1,127 @@
+//! Measurement-horizon comparison (Fig. 2).
+//!
+//! Fig. 2 compares, per measurement period, the number of PIDs seen by each
+//! passive client (total and DHT-Server-only) against the range of node
+//! counts reported by the active crawler (min and max over its 8-hourly
+//! crawls). The takeaway the shape must reproduce: for multi-day periods the
+//! historic passive view accumulates at least as many DHT-Server PIDs as a
+//! fresh-snapshot crawl reports.
+
+use measurement::{CrawlSummary, MeasurementCampaign, MeasurementDataset};
+use serde::{Deserialize, Serialize};
+
+/// One bar of Fig. 2: a passive client's PID counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HorizonEntry {
+    /// Client name.
+    pub client: String,
+    /// Total PIDs ever seen.
+    pub total_pids: usize,
+    /// PIDs that (ever) announced the DHT-Server role.
+    pub dht_server_pids: usize,
+}
+
+impl HorizonEntry {
+    /// Builds the entry for one data set.
+    pub fn from_dataset(dataset: &MeasurementDataset) -> Self {
+        HorizonEntry {
+            client: dataset.client.clone(),
+            total_pids: dataset.pid_count(),
+            dht_server_pids: dataset.dht_server_pid_count(),
+        }
+    }
+}
+
+/// The full Fig. 2 comparison for one measurement period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HorizonComparison {
+    /// The period label ("P0", "P1", …).
+    pub period: String,
+    /// One entry per passive client (go-ipfs, each hydra head, hydra union).
+    pub passive: Vec<HorizonEntry>,
+    /// The crawler's min/max/distinct summary.
+    pub crawler: CrawlSummary,
+    /// Ground-truth population size (for validation; not part of the figure).
+    pub population: usize,
+}
+
+impl HorizonComparison {
+    /// The largest passive DHT-Server PID count.
+    pub fn best_passive_server_count(&self) -> usize {
+        self.passive.iter().map(|e| e.dht_server_pids).max().unwrap_or(0)
+    }
+
+    /// Whether the historic passive view reaches at least the crawler's
+    /// maximum per-crawl count — the paper's observation for multi-day
+    /// periods.
+    pub fn passive_covers_crawler(&self) -> bool {
+        self.best_passive_server_count() >= self.crawler.max_servers
+    }
+}
+
+/// Builds the Fig. 2 comparison from a measurement campaign.
+pub fn horizon_comparison(campaign: &MeasurementCampaign) -> HorizonComparison {
+    let mut passive = Vec::new();
+    if let Some(go_ipfs) = &campaign.go_ipfs {
+        passive.push(HorizonEntry::from_dataset(go_ipfs));
+    }
+    for head in &campaign.hydra_heads {
+        passive.push(HorizonEntry::from_dataset(head));
+    }
+    if let Some(union) = &campaign.hydra_union {
+        passive.push(HorizonEntry::from_dataset(union));
+    }
+    HorizonComparison {
+        period: campaign.scenario.period.label().to_string(),
+        passive,
+        crawler: campaign.crawl_summary,
+        population: campaign.ground_truth.population_size(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measurement::PeerRecord;
+    use p2pmodel::PeerId;
+    use simclock::SimTime;
+
+    fn dataset(name: &str, total: u64, servers: u64) -> MeasurementDataset {
+        let mut ds = MeasurementDataset::new(name, true, SimTime::ZERO, SimTime::from_days(1));
+        for i in 0..total {
+            let mut record = PeerRecord::new(PeerId::derived(i), SimTime::ZERO);
+            record.ever_dht_server = i < servers;
+            ds.peers.insert(record.peer, record);
+        }
+        ds
+    }
+
+    #[test]
+    fn entry_counts_totals_and_servers() {
+        let entry = HorizonEntry::from_dataset(&dataset("go-ipfs", 100, 30));
+        assert_eq!(entry.total_pids, 100);
+        assert_eq!(entry.dht_server_pids, 30);
+        assert_eq!(entry.client, "go-ipfs");
+    }
+
+    #[test]
+    fn comparison_helpers() {
+        let comparison = HorizonComparison {
+            period: "P4".into(),
+            passive: vec![
+                HorizonEntry { client: "go-ipfs".into(), total_pids: 100, dht_server_pids: 40 },
+                HorizonEntry { client: "hydra-union".into(), total_pids: 120, dht_server_pids: 55 },
+            ],
+            crawler: CrawlSummary { crawls: 3, min_servers: 30, max_servers: 50, distinct_servers: 60 },
+            population: 200,
+        };
+        assert_eq!(comparison.best_passive_server_count(), 55);
+        assert!(comparison.passive_covers_crawler());
+
+        let weaker = HorizonComparison {
+            crawler: CrawlSummary { crawls: 3, min_servers: 30, max_servers: 70, distinct_servers: 80 },
+            ..comparison
+        };
+        assert!(!weaker.passive_covers_crawler());
+    }
+}

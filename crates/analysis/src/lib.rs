@@ -1,0 +1,43 @@
+//! Analyses reproducing every table and figure of the paper.
+//!
+//! Each module maps to one part of the evaluation:
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`churn`] | Table II — connection statistics (sum / avg / median, "All" vs "Peer"), inbound/outbound breakdown |
+//! | [`horizon`] | Fig. 2 — passive PID counts vs. active-crawler min/max |
+//! | [`metadata`] | Fig. 3 (agents), Fig. 4 (protocols), Table III (version changes), role-switch counts, anomalies |
+//! | [`timeline`] | Fig. 5 (simultaneous connections over 24 h), Fig. 6 (PIDs over time, ≥3 d disconnected) |
+//! | [`cdf`] | Fig. 7 — CDFs of max connection duration and of connections per PID |
+//! | [`netsize`] | Section V — IP-address grouping, Table IV peer classification, network-size estimates |
+//! | [`fingerprint`] | The paper's future-work idea: re-identifying peers by metadata fingerprints |
+//! | [`report`] | Text tables / CSV rendering shared by the reproduction harness |
+//!
+//! Every function consumes [`measurement::MeasurementDataset`]s — the same
+//! information the paper's instrumented clients export — so the pipelines are
+//! faithful to what a passive vantage point can actually know.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod churn;
+pub mod fingerprint;
+pub mod horizon;
+pub mod metadata;
+pub mod netsize;
+pub mod report;
+pub mod timeline;
+pub mod validation;
+
+pub use cdf::{connection_count_cdf, max_duration_cdf, DurationCdfs};
+pub use churn::{connection_stats, direction_stats, ConnectionStats, DirectionStats};
+pub use fingerprint::{fingerprint_groups, FingerprintEstimate};
+pub use horizon::{horizon_comparison, HorizonComparison, HorizonEntry};
+pub use metadata::{
+    agent_histogram, anomaly_report, protocol_histogram, role_switches, version_changes,
+    AgentBreakdown, AnomalyReport, RoleSwitchStats, VersionChangeTable,
+};
+pub use netsize::{classify_peers, ip_grouping, network_size_estimate, ConnectionClass, IpGrouping, NetworkSizeEstimate, PeerClassification};
+pub use timeline::{connection_timeline, pid_growth, PidGrowth};
+pub use validation::{churn_decomposition, ChurnDecomposition};

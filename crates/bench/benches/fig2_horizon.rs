@@ -1,0 +1,27 @@
+//! Fig. 2: passive vs. crawler horizon comparison on the P1 campaign
+//! (go-ipfs plus two hydra heads plus the crawler baseline).
+
+use bench::bench_campaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+use measurement::ActiveCrawler;
+use population::MeasurementPeriod;
+use simclock::SimTime;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let campaign = bench_campaign(MeasurementPeriod::P1);
+    c.bench_function("fig2/horizon_comparison", |b| {
+        b.iter(|| analysis::horizon_comparison(black_box(&campaign)))
+    });
+    let end = SimTime::ZERO + campaign.scenario.period.duration();
+    c.bench_function("fig2/crawl_8h", |b| {
+        b.iter(|| ActiveCrawler::new().crawl(black_box(&campaign.ground_truth), SimTime::ZERO, end))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2
+}
+criterion_main!(benches);

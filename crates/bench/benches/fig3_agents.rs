@@ -1,0 +1,24 @@
+//! Fig. 3: agent-version histogram on the P4 data set.
+
+use bench::bench_campaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+use population::MeasurementPeriod;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let campaign = bench_campaign(MeasurementPeriod::P4);
+    let dataset = campaign.primary();
+    c.bench_function("fig3/agent_histogram", |b| {
+        b.iter(|| analysis::agent_histogram(black_box(dataset), 1))
+    });
+    c.bench_function("fig3/agent_breakdown", |b| {
+        b.iter(|| analysis::metadata::agent_breakdown(black_box(dataset)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3
+}
+criterion_main!(benches);

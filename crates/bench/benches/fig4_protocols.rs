@@ -1,0 +1,24 @@
+//! Fig. 4: supported-protocol histogram on the P4 data set.
+
+use bench::bench_campaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+use population::MeasurementPeriod;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let campaign = bench_campaign(MeasurementPeriod::P4);
+    let dataset = campaign.primary();
+    c.bench_function("fig4/protocol_histogram", |b| {
+        b.iter(|| analysis::protocol_histogram(black_box(dataset), 3))
+    });
+    c.bench_function("fig4/kad_supporters", |b| {
+        b.iter(|| analysis::metadata::kad_supporters(black_box(dataset)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

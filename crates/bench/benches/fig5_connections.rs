@@ -1,0 +1,24 @@
+//! Fig. 5: simultaneous-connection time series for each measurement period.
+
+use bench::bench_campaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+use population::MeasurementPeriod;
+use simclock::SimDuration;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    for period in [MeasurementPeriod::P0, MeasurementPeriod::P2, MeasurementPeriod::P3] {
+        let campaign = bench_campaign(period);
+        let dataset = campaign.primary().clone();
+        c.bench_function(&format!("fig5/connection_timeline/{period}"), |b| {
+            b.iter(|| analysis::connection_timeline(black_box(&dataset), SimDuration::from_hours(24)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 6: PID growth and long-disconnected PIDs. The 14-day extension run is
+//! simulated once (outside the measured closure); the bench measures the
+//! analysis pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use measurement::run_period;
+use population::MeasurementPeriod;
+use simclock::SimDuration;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    // A very small scale keeps the 14-day simulation affordable inside a bench.
+    let campaign = run_period(MeasurementPeriod::Extended, 0.002, 0xF16);
+    let dataset = campaign.primary();
+    c.bench_function("fig6/pid_growth", |b| {
+        b.iter(|| {
+            analysis::pid_growth(
+                black_box(dataset),
+                SimDuration::from_hours(1),
+                SimDuration::from_days(3),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

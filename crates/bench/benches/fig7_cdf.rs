@@ -1,0 +1,24 @@
+//! Fig. 7: per-PID duration and connection-count CDFs on the P4 data set.
+
+use bench::bench_campaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+use population::MeasurementPeriod;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let campaign = bench_campaign(MeasurementPeriod::P4);
+    let dataset = campaign.primary();
+    c.bench_function("fig7/max_duration_cdf", |b| {
+        b.iter(|| analysis::max_duration_cdf(black_box(dataset), 30.0))
+    });
+    c.bench_function("fig7/connection_count_cdf", |b| {
+        b.iter(|| analysis::connection_count_cdf(black_box(dataset)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the substrates the measurement pipeline rests on:
+//! Kademlia routing tables, the connection manager's trim pass, the end-to-end
+//! simulation step rate and the go-ipfs monitor's log ingestion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use measurement::GoIpfsMonitor;
+use netsim::{DhtRole, Network, NetworkConfig, ObserverSpec};
+use p2pmodel::{ConnLimits, ConnectionId, ConnectionManager, PeerId, RoutingTable};
+use population::PopulationBuilder;
+use simclock::{SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+fn bench_routing_table(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(1);
+    let ids: Vec<PeerId> = (0..5_000).map(|_| PeerId::random(&mut rng)).collect();
+    c.bench_function("micro/routing_table_insert_5k", |b| {
+        b.iter(|| {
+            let mut table = RoutingTable::new(PeerId::derived(0));
+            for id in &ids {
+                table.insert(*id);
+            }
+            black_box(table.len())
+        })
+    });
+    let mut table = RoutingTable::new(PeerId::derived(0));
+    for id in &ids {
+        table.insert(*id);
+    }
+    c.bench_function("micro/routing_table_closest_20", |b| {
+        b.iter(|| black_box(table.closest(&PeerId::derived(42), 20)))
+    });
+}
+
+fn bench_connmgr(c: &mut Criterion) {
+    c.bench_function("micro/connmgr_trim_2000_to_600", |b| {
+        b.iter(|| {
+            let mut mgr = ConnectionManager::new(
+                ConnLimits::new(600, 900).with_grace_period(SimDuration::ZERO),
+            );
+            for i in 0..2_000u64 {
+                mgr.track(ConnectionId(i), PeerId::derived(i), SimTime::ZERO);
+            }
+            black_box(mgr.maybe_trim(SimTime::from_secs(60)).len())
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let population = PopulationBuilder::new(3)
+        .with_scale(0.003)
+        .with_duration(SimDuration::from_hours(6))
+        .build();
+    c.bench_function("micro/simulate_6h_small_network", |b| {
+        b.iter(|| {
+            let observer = ObserverSpec::new(
+                "go-ipfs",
+                PeerId::derived(999_999),
+                DhtRole::Server,
+                ConnLimits::new(50, 80),
+            );
+            let config = NetworkConfig::single_observer(7, SimDuration::from_hours(6), observer);
+            let output = Network::new(config, population.specs.clone()).run();
+            black_box(output.logs[0].len())
+        })
+    });
+
+    let observer = ObserverSpec::new(
+        "go-ipfs",
+        PeerId::derived(999_999),
+        DhtRole::Server,
+        ConnLimits::new(50, 80),
+    );
+    let config = NetworkConfig::single_observer(7, SimDuration::from_hours(6), observer);
+    let output = Network::new(config, population.specs.clone()).run();
+    c.bench_function("micro/goipfs_monitor_ingest", |b| {
+        b.iter(|| black_box(GoIpfsMonitor::new().ingest(&output.logs[0])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_routing_table, bench_connmgr, bench_simulation
+}
+criterion_main!(benches);

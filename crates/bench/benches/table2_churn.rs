@@ -1,0 +1,25 @@
+//! Table II: connection statistics pipeline (sum / avg / median for "All" and
+//! "Peer") on the P0 campaign.
+
+use bench::bench_campaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+use population::MeasurementPeriod;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let campaign = bench_campaign(MeasurementPeriod::P0);
+    let dataset = campaign.primary();
+    c.bench_function("table2/connection_stats", |b| {
+        b.iter(|| analysis::connection_stats(black_box(dataset)))
+    });
+    c.bench_function("table2/direction_stats", |b| {
+        b.iter(|| analysis::direction_stats(black_box(dataset)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table III: go-ipfs version-change classification on the P4 data set.
+
+use bench::bench_campaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+use population::MeasurementPeriod;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let campaign = bench_campaign(MeasurementPeriod::P4);
+    let dataset = campaign.primary();
+    c.bench_function("table3/version_changes", |b| {
+        b.iter(|| analysis::version_changes(black_box(dataset)))
+    });
+    c.bench_function("table3/role_switches", |b| {
+        b.iter(|| analysis::role_switches(black_box(dataset)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3
+}
+criterion_main!(benches);

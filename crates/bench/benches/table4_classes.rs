@@ -1,0 +1,31 @@
+//! Table IV and Section V: peer classification, IP grouping and the combined
+//! network-size estimate on the P4 data set.
+
+use bench::bench_campaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+use population::MeasurementPeriod;
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let campaign = bench_campaign(MeasurementPeriod::P4);
+    let dataset = campaign.primary();
+    c.bench_function("table4/classify_peers", |b| {
+        b.iter(|| analysis::classify_peers(black_box(dataset)))
+    });
+    c.bench_function("table4/ip_grouping", |b| {
+        b.iter(|| analysis::ip_grouping(black_box(dataset)))
+    });
+    c.bench_function("table4/network_size_estimate", |b| {
+        b.iter(|| analysis::network_size_estimate(black_box(dataset)))
+    });
+    c.bench_function("table4/fingerprint_groups", |b| {
+        b.iter(|| analysis::fingerprint_groups(black_box(dataset)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4
+}
+criterion_main!(benches);

@@ -1,0 +1,382 @@
+//! The reproduction harness: regenerates every table and figure of the paper
+//! and prints them in a form directly comparable with the published numbers.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro                 # everything, default scale
+//! cargo run --release -p bench --bin repro -- --scale 0.05 # larger population
+//! cargo run --release -p bench --bin repro -- --only table2,fig7
+//! ```
+//!
+//! Absolute values scale with the `--scale` factor (the paper measured the
+//! real ~48k-peer network); the *shapes* — orderings, ratios, crossovers —
+//! are the reproduction target, as documented in EXPERIMENTS.md.
+
+use analysis::{metadata, report};
+use analysis::{
+    classify_peers, connection_count_cdf, connection_stats, connection_timeline, direction_stats,
+    fingerprint_groups, horizon_comparison, ip_grouping, max_duration_cdf, network_size_estimate,
+    pid_growth, role_switches, version_changes,
+};
+use measurement::{run_period, MeasurementCampaign};
+use population::{MeasurementPeriod, Scenario};
+use simclock::{Cdf, SimDuration};
+use std::collections::HashMap;
+
+struct Options {
+    scale: f64,
+    seed: u64,
+    only: Option<Vec<String>>,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        scale: 0.02,
+        seed: 1975,
+        only: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                options.scale = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(options.scale);
+                i += 2;
+            }
+            "--seed" => {
+                options.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(options.seed);
+                i += 2;
+            }
+            "--only" => {
+                options.only = args
+                    .get(i + 1)
+                    .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument {other}");
+                i += 1;
+            }
+        }
+    }
+    options
+}
+
+fn wants(options: &Options, key: &str) -> bool {
+    match &options.only {
+        None => true,
+        Some(keys) => keys.iter().any(|k| k == key),
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    println!("# Reproduction harness — scale {}, seed {}\n", options.scale, options.seed);
+
+    let mut campaigns: HashMap<&'static str, MeasurementCampaign> = HashMap::new();
+    let mut campaign = |period: MeasurementPeriod, options: &Options| -> MeasurementCampaign {
+        campaigns
+            .entry(period.label())
+            .or_insert_with(|| run_period(period, options.scale, options.seed))
+            .clone()
+    };
+
+    if wants(&options, "table1") {
+        table1();
+    }
+    if wants(&options, "table2") {
+        table2(&mut campaign, &options);
+    }
+    if wants(&options, "fig2") {
+        fig2(&mut campaign, &options);
+    }
+    if wants(&options, "fig3") || wants(&options, "fig4") || wants(&options, "table3") {
+        metadata_section(&mut campaign, &options);
+    }
+    if wants(&options, "fig5") {
+        fig5(&mut campaign, &options);
+    }
+    if wants(&options, "fig6") {
+        fig6(&options);
+    }
+    if wants(&options, "fig7") {
+        fig7(&mut campaign, &options);
+    }
+    if wants(&options, "table4") || wants(&options, "ipgroups") {
+        network_size(&mut campaign, &options);
+    }
+}
+
+fn table1() {
+    println!("## Table I — measurement period overview\n");
+    let rows: Vec<Vec<String>> = MeasurementPeriod::ALL
+        .iter()
+        .map(|period| {
+            let scenario = Scenario::new(*period);
+            let go = period
+                .go_ipfs()
+                .map(|(role, limits)| format!("{role} ({}/{})", limits.low_water, limits.high_water))
+                .unwrap_or_else(|| "-".into());
+            let hydra = period
+                .hydra()
+                .map(|(heads, limits)| format!("{heads} heads ({}/{})", limits.low_water, limits.high_water))
+                .unwrap_or_else(|| "-".into());
+            vec![
+                period.label().to_string(),
+                format!("{}", period.duration()),
+                go,
+                hydra,
+                format!("{} observers", scenario.observers().len()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::text_table(&["Period", "Duration", "go-ipfs", "Hydra", "Deployed"], &rows)
+    );
+}
+
+fn table2(
+    campaign: &mut impl FnMut(MeasurementPeriod, &Options) -> MeasurementCampaign,
+    options: &Options,
+) {
+    println!("## Table II — connection statistics\n");
+    let mut rows = Vec::new();
+    for period in [
+        MeasurementPeriod::P0,
+        MeasurementPeriod::P1,
+        MeasurementPeriod::P2,
+        MeasurementPeriod::P3,
+    ] {
+        let campaign = campaign(period, options);
+        for dataset in campaign.passive_datasets() {
+            let stats = connection_stats(dataset);
+            let dirs = direction_stats(dataset);
+            rows.push(vec![
+                period.label().into(),
+                dataset.client.clone(),
+                "All".into(),
+                report::count(stats.all_sum),
+                report::secs(stats.all_avg_secs),
+                report::secs(stats.all_median_secs),
+                format!("{}/{}", report::count(dirs.inbound), report::count(dirs.outbound)),
+            ]);
+            rows.push(vec![
+                period.label().into(),
+                dataset.client.clone(),
+                "Peer".into(),
+                report::count(stats.peer_sum),
+                report::secs(stats.peer_avg_secs),
+                report::secs(stats.peer_median_secs),
+                String::new(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::text_table(
+            &["Period", "Client", "Type", "Sum", "Avg [s]", "Median [s]", "in/out"],
+            &rows
+        )
+    );
+}
+
+fn fig2(
+    campaign: &mut impl FnMut(MeasurementPeriod, &Options) -> MeasurementCampaign,
+    options: &Options,
+) {
+    println!("## Fig. 2 — passive vs. active measurement horizon\n");
+    let mut rows = Vec::new();
+    for period in [
+        MeasurementPeriod::P0,
+        MeasurementPeriod::P1,
+        MeasurementPeriod::P2,
+        MeasurementPeriod::P3,
+        MeasurementPeriod::P4,
+    ] {
+        let campaign = campaign(period, options);
+        let comparison = horizon_comparison(&campaign);
+        for entry in &comparison.passive {
+            rows.push(vec![
+                comparison.period.clone(),
+                entry.client.clone(),
+                report::count(entry.dht_server_pids),
+                report::count(entry.total_pids),
+            ]);
+        }
+        rows.push(vec![
+            comparison.period.clone(),
+            "crawler (min..max)".into(),
+            format!("{}..{}", comparison.crawler.min_servers, comparison.crawler.max_servers),
+            report::count(comparison.crawler.distinct_servers),
+        ]);
+    }
+    println!(
+        "{}",
+        report::text_table(&["Period", "Client", "DHT-Server PIDs", "Total PIDs"], &rows)
+    );
+}
+
+fn metadata_section(
+    campaign: &mut impl FnMut(MeasurementPeriod, &Options) -> MeasurementCampaign,
+    options: &Options,
+) {
+    let campaign = campaign(MeasurementPeriod::P4, options);
+    let dataset = campaign.primary();
+
+    println!("## Fig. 3 — agent versions\n");
+    let threshold = (100.0 * options.scale).ceil() as u64;
+    let agents = analysis::agent_histogram(dataset, threshold);
+    println!("{}", report::bar_chart(&agents.sorted_by_count(), 40));
+    let breakdown = metadata::agent_breakdown(dataset);
+    println!(
+        "go-ipfs {} | hydra {} | crawler {} | other {} | missing {} | distinct agents {} | kad {}\n",
+        report::count(breakdown.go_ipfs),
+        report::count(breakdown.hydra),
+        report::count(breakdown.crawler),
+        report::count(breakdown.other),
+        report::count(breakdown.missing),
+        breakdown.distinct_agents,
+        report::count(breakdown.kad_supporters),
+    );
+
+    println!("## Fig. 4 — supported protocols\n");
+    let protocol_threshold = (300.0 * options.scale).ceil() as u64;
+    let protocols = analysis::protocol_histogram(dataset, protocol_threshold);
+    println!("{}", report::bar_chart(&protocols.sorted_by_count(), 40));
+
+    println!("## Table III — go-ipfs version changes\n");
+    let versions = version_changes(dataset);
+    let rows = vec![
+        vec!["Upgrade".into(), versions.upgrades.to_string(), "main-main".into(), versions.main_to_main.to_string()],
+        vec!["Downgrade".into(), versions.downgrades.to_string(), "dirty-main".into(), versions.dirty_to_main.to_string()],
+        vec!["Change".into(), versions.changes.to_string(), "main-dirty".into(), versions.main_to_dirty.to_string()],
+        vec!["(peers)".into(), versions.peers_with_changes.to_string(), "dirty-dirty".into(), versions.dirty_to_dirty.to_string()],
+    ];
+    println!("{}", report::text_table(&["Version", "#", "Type", "#"], &rows));
+
+    let roles = role_switches(dataset);
+    let anomalies = metadata::anomaly_report(dataset);
+    println!("role switches: {} peers changed protocol announcements ({} events), {} server->client",
+        roles.peers_with_protocol_changes, roles.protocol_change_events, roles.role_switchers);
+    println!(
+        "anomalies: {} go-ipfs without bitswap ({} with sbptp), {} storm-protocol peers, {} ethereum agents\n",
+        anomalies.go_ipfs_without_bitswap,
+        anomalies.go_ipfs_with_storm_markers,
+        anomalies.storm_protocol_peers,
+        anomalies.ethereum_agents
+    );
+}
+
+fn fig5(
+    campaign: &mut impl FnMut(MeasurementPeriod, &Options) -> MeasurementCampaign,
+    options: &Options,
+) {
+    println!("## Fig. 5 — simultaneous connections over the first 24 h\n");
+    for period in [
+        MeasurementPeriod::P0,
+        MeasurementPeriod::P1,
+        MeasurementPeriod::P2,
+        MeasurementPeriod::P3,
+    ] {
+        let campaign = campaign(period, options);
+        for dataset in campaign.passive_datasets() {
+            let timeline = connection_timeline(dataset, SimDuration::from_hours(24));
+            println!("### {} / {}", period.label(), dataset.client);
+            println!(
+                "{}",
+                report::timeseries_csv(&timeline.downsample(24), "time_s", "connections")
+            );
+        }
+    }
+}
+
+fn fig6(options: &Options) {
+    println!("## Fig. 6 — PIDs over time (14-day run)\n");
+    // The 14-day run is the most expensive experiment; run it at a quarter of
+    // the requested scale to keep the harness fast.
+    let scale = (options.scale * 0.25).max(0.002);
+    let campaign = run_period(MeasurementPeriod::Extended, scale, options.seed);
+    let dataset = campaign.primary();
+    let growth = pid_growth(dataset, SimDuration::from_hours(6), SimDuration::from_days(3));
+    println!("(scale {scale})");
+    println!("{}", report::timeseries_csv(&growth.total_pids.downsample(28), "hours", "total_pids"));
+    println!("{}", report::timeseries_csv(&growth.gone_pids.downsample(28), "hours", "gone_3d_pids"));
+    println!(
+        "final: {} PIDs seen, {} disconnected >3 d and never returned\n",
+        growth.final_total(),
+        growth.final_gone()
+    );
+}
+
+fn fig7(
+    campaign: &mut impl FnMut(MeasurementPeriod, &Options) -> MeasurementCampaign,
+    options: &Options,
+) {
+    println!("## Fig. 7 — CDFs of connection behaviour (P4)\n");
+    let campaign = campaign(MeasurementPeriod::P4, options);
+    let dataset = campaign.primary();
+    let cdfs = max_duration_cdf(dataset, 30.0);
+    let points = Cdf::log_points(30.0, 300_000.0, 2);
+    println!("### max connection duration per PID");
+    println!("all:\n{}", report::cdf_csv(&cdfs.all, &points, "duration_s"));
+    println!("dht-server:\n{}", report::cdf_csv(&cdfs.dht_server, &points, "duration_s"));
+    println!("dht-client:\n{}", report::cdf_csv(&cdfs.dht_client, &points, "duration_s"));
+    println!(
+        "fraction <1h: {:.2}  fraction >24h: {:.2}",
+        cdfs.fraction_below(3600.0),
+        1.0 - cdfs.fraction_below(24.0 * 3600.0)
+    );
+
+    let counts = connection_count_cdf(dataset);
+    let count_points = Cdf::log_points(1.0, 10_000.0, 2);
+    println!("\n### number of connections per PID");
+    println!("{}", report::cdf_csv(&counts, &count_points, "connections"));
+    println!(
+        "fraction with 1 connection: {:.2}  fraction with >15: {:.2}\n",
+        counts.fraction_at_or_below(1.0),
+        1.0 - counts.fraction_at_or_below(15.0)
+    );
+}
+
+fn network_size(
+    campaign: &mut impl FnMut(MeasurementPeriod, &Options) -> MeasurementCampaign,
+    options: &Options,
+) {
+    println!("## Section V — network size (P4)\n");
+    let campaign = campaign(MeasurementPeriod::P4, options);
+    let dataset = campaign.primary();
+
+    let grouping = ip_grouping(dataset);
+    println!("### §V-A IP grouping");
+    println!(
+        "PIDs {} | connected {} | IPs {} | groups {} | singleton groups {} | largest group {}",
+        report::count(grouping.total_pids),
+        report::count(grouping.connected_pids),
+        report::count(grouping.distinct_ips),
+        report::count(grouping.groups),
+        report::count(grouping.singleton_groups),
+        grouping.largest_group
+    );
+
+    println!("\n### Table IV — classification");
+    let classes = classify_peers(dataset);
+    let rows: Vec<Vec<String>> = classes
+        .rows
+        .iter()
+        .map(|(label, total, servers)| vec![label.clone(), report::count(*total), report::count(*servers)])
+        .collect();
+    println!("{}", report::text_table(&["Class", "Peers", "DHT-Server"], &rows));
+
+    let estimate = network_size_estimate(dataset);
+    let fingerprints = fingerprint_groups(dataset);
+    println!("### estimates");
+    println!(
+        "by PIDs {} | by IP groups {} | by fingerprints {} | core lower bound {} | max simultaneous {} | ground truth {}\n",
+        report::count(estimate.by_pids),
+        report::count(estimate.by_ip_groups),
+        report::count(fingerprints.full_fingerprints),
+        report::count(estimate.core_lower_bound),
+        report::count(estimate.max_simultaneous_connections),
+        report::count(campaign.ground_truth.population_size())
+    );
+}

@@ -1,0 +1,248 @@
+//! The active-crawler baseline (the "WB Crawler" of Fig. 2).
+//!
+//! The paper compares its passive PID counts against a public DHT crawler
+//! that walks the Kademlia routing tables every eight hours and reports, per
+//! crawl, how many DHT-Server nodes it found. The crawler has two properties
+//! the comparison hinges on:
+//!
+//! * it only sees **DHT-Servers** (clients are not in anyone's routing
+//!   table), and
+//! * every crawl is a **fresh snapshot** — peers that have disappeared from
+//!   routing tables are gone from the next report, whereas the passive
+//!   monitors keep every PID they ever saw.
+
+use netsim::GroundTruth;
+use serde::{Deserialize, Serialize};
+use simclock::{SimDuration, SimRng, SimTime};
+
+/// One crawl of the DHT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrawlSnapshot {
+    /// When the crawl ran.
+    pub at: SimTime,
+    /// Number of DHT-Server peers found in this crawl.
+    pub servers_found: usize,
+    /// Number of online DHT-Server peers at crawl time (ground truth; the
+    /// real crawler does not know this).
+    pub servers_online: usize,
+}
+
+/// Aggregate of a crawl series (the min/max range shown as bars in Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrawlSummary {
+    /// Number of crawls.
+    pub crawls: usize,
+    /// Minimum servers found in any crawl.
+    pub min_servers: usize,
+    /// Maximum servers found in any crawl.
+    pub max_servers: usize,
+    /// Total number of distinct server PIDs found across all crawls.
+    pub distinct_servers: usize,
+}
+
+/// A simulated DHT crawler.
+#[derive(Debug, Clone)]
+pub struct ActiveCrawler {
+    /// Time between crawls (8 h for the WB crawler).
+    pub interval: SimDuration,
+    /// Probability that an online DHT-Server is found by a single crawl.
+    /// Crawls are not perfect: NATed or briefly-online servers are missed.
+    pub coverage: f64,
+    /// Seed for the per-crawl discovery randomness.
+    pub seed: u64,
+}
+
+impl Default for ActiveCrawler {
+    fn default() -> Self {
+        ActiveCrawler {
+            interval: SimDuration::from_hours(8),
+            coverage: 0.92,
+            seed: 0xC4A3,
+        }
+    }
+}
+
+impl ActiveCrawler {
+    /// Creates a crawler with the WB-crawler defaults (8 h interval, 92 %
+    /// per-crawl coverage).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with a different crawl interval.
+    pub fn with_interval(mut self, interval: SimDuration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Returns a copy with a different per-crawl coverage.
+    pub fn with_coverage(mut self, coverage: f64) -> Self {
+        self.coverage = coverage.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Crawls the simulated network over `[start, end]`, once every
+    /// [`Self::interval`], and returns one snapshot per crawl.
+    pub fn crawl(&self, ground_truth: &GroundTruth, start: SimTime, end: SimTime) -> Vec<CrawlSnapshot> {
+        let mut rng = SimRng::seed_from(self.seed);
+        let mut snapshots = Vec::new();
+        let mut at = start + self.interval;
+        while at <= end {
+            let online = ground_truth.online_at(at);
+            let servers_online = online.iter().filter(|(_, server)| *server).count();
+            let servers_found = online
+                .iter()
+                .filter(|(_, server)| *server)
+                .filter(|_| rng.chance(self.coverage))
+                .count();
+            snapshots.push(CrawlSnapshot {
+                at,
+                servers_found,
+                servers_online,
+            });
+            at += self.interval;
+        }
+        snapshots
+    }
+
+    /// Crawls the network and also tracks how many *distinct* server PIDs
+    /// were seen across all crawls (a historic union like the passive view).
+    pub fn crawl_summary(
+        &self,
+        ground_truth: &GroundTruth,
+        start: SimTime,
+        end: SimTime,
+    ) -> (Vec<CrawlSnapshot>, CrawlSummary) {
+        use std::collections::BTreeSet;
+        let mut rng = SimRng::seed_from(self.seed);
+        let mut snapshots = Vec::new();
+        let mut distinct = BTreeSet::new();
+        let mut at = start + self.interval;
+        while at <= end {
+            let online = ground_truth.online_at(at);
+            let servers_online = online.iter().filter(|(_, server)| *server).count();
+            let mut servers_found = 0;
+            for (peer, is_server) in online {
+                if is_server && rng.chance(self.coverage) {
+                    servers_found += 1;
+                    distinct.insert(peer);
+                }
+            }
+            snapshots.push(CrawlSnapshot {
+                at,
+                servers_found,
+                servers_online,
+            });
+            at += self.interval;
+        }
+        let summary = summarize(&snapshots, distinct.len());
+        (snapshots, summary)
+    }
+}
+
+/// Builds the min/max summary of a crawl series.
+pub fn summarize(snapshots: &[CrawlSnapshot], distinct_servers: usize) -> CrawlSummary {
+    CrawlSummary {
+        crawls: snapshots.len(),
+        min_servers: snapshots.iter().map(|s| s.servers_found).min().unwrap_or(0),
+        max_servers: snapshots.iter().map(|s| s.servers_found).max().unwrap_or(0),
+        distinct_servers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::GroundTruthEvent;
+    use p2pmodel::PeerId;
+
+    fn ground_truth(servers: u64, clients: u64) -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        for i in 0..servers {
+            let peer = PeerId::derived(i);
+            gt.peers.push((peer, true));
+            gt.events.push(GroundTruthEvent::PeerOnline {
+                at: SimTime::ZERO,
+                peer,
+            });
+        }
+        for i in 0..clients {
+            let peer = PeerId::derived(1_000_000 + i);
+            gt.peers.push((peer, false));
+            gt.events.push(GroundTruthEvent::PeerOnline {
+                at: SimTime::ZERO,
+                peer,
+            });
+        }
+        gt
+    }
+
+    #[test]
+    fn crawler_only_counts_servers() {
+        let gt = ground_truth(100, 500);
+        let crawler = ActiveCrawler::new().with_coverage(1.0);
+        let snapshots = crawler.crawl(&gt, SimTime::ZERO, SimTime::from_hours(24));
+        assert_eq!(snapshots.len(), 3, "24 h / 8 h = 3 crawls");
+        for snap in &snapshots {
+            assert_eq!(snap.servers_found, 100);
+            assert_eq!(snap.servers_online, 100);
+        }
+    }
+
+    #[test]
+    fn coverage_below_one_misses_some_servers() {
+        let gt = ground_truth(1000, 0);
+        let crawler = ActiveCrawler::new().with_coverage(0.5);
+        let snapshots = crawler.crawl(&gt, SimTime::ZERO, SimTime::from_hours(8));
+        assert_eq!(snapshots.len(), 1);
+        let found = snapshots[0].servers_found;
+        assert!(found > 300 && found < 700, "~50 % coverage, found {found}");
+    }
+
+    #[test]
+    fn crawler_sees_fresh_snapshots_not_history() {
+        // A server that goes offline after the first crawl disappears from
+        // later crawls — unlike the passive monitors' historic view.
+        let mut gt = ground_truth(10, 0);
+        gt.events.push(GroundTruthEvent::PeerOffline {
+            at: SimTime::from_hours(9),
+            peer: PeerId::derived(0),
+        });
+        let crawler = ActiveCrawler::new().with_coverage(1.0);
+        let snapshots = crawler.crawl(&gt, SimTime::ZERO, SimTime::from_hours(16));
+        assert_eq!(snapshots[0].servers_found, 10);
+        assert_eq!(snapshots[1].servers_found, 9);
+    }
+
+    #[test]
+    fn summary_reports_min_max_and_distinct() {
+        let mut gt = ground_truth(50, 0);
+        gt.events.push(GroundTruthEvent::PeerOffline {
+            at: SimTime::from_hours(9),
+            peer: PeerId::derived(1),
+        });
+        let crawler = ActiveCrawler::new().with_coverage(1.0);
+        let (snapshots, summary) =
+            crawler.crawl_summary(&gt, SimTime::ZERO, SimTime::from_hours(24));
+        assert_eq!(summary.crawls, snapshots.len());
+        assert_eq!(summary.max_servers, 50);
+        assert_eq!(summary.min_servers, 49);
+        assert_eq!(summary.distinct_servers, 50, "union across crawls keeps the departed peer");
+    }
+
+    #[test]
+    fn empty_series_summarises_to_zero() {
+        let summary = summarize(&[], 0);
+        assert_eq!(summary.crawls, 0);
+        assert_eq!(summary.min_servers, 0);
+        assert_eq!(summary.max_servers, 0);
+    }
+
+    #[test]
+    fn no_crawl_happens_if_run_is_shorter_than_interval() {
+        let gt = ground_truth(10, 0);
+        let crawler = ActiveCrawler::new();
+        let snapshots = crawler.crawl(&gt, SimTime::ZERO, SimTime::from_hours(4));
+        assert!(snapshots.is_empty());
+    }
+}

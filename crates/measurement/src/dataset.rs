@@ -1,0 +1,247 @@
+//! The measurement data set: the JSON-exportable result of one client's run.
+//!
+//! Both instrumented clients in the paper periodically export their records
+//! to JSON files; [`MeasurementDataset`] is the in-memory equivalent and the
+//! single input type of every analysis. Hydra heads can be merged into a
+//! union data set exactly like the paper unions the PID sets of all heads.
+
+use crate::record::{ConnectionRecord, PeerRecord, SnapshotRecord};
+use p2pmodel::PeerId;
+use serde::{Deserialize, Serialize};
+use simclock::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+/// The complete data set recorded by one measurement client (or the union of
+/// several hydra heads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementDataset {
+    /// Name of the client that produced the data (`"go-ipfs"`, `"hydra-h0"`,
+    /// `"hydra-union"`, …).
+    pub client: String,
+    /// Whether the client ran as a DHT-Server.
+    pub dht_server: bool,
+    /// Start of the measurement.
+    pub started_at: SimTime,
+    /// End of the measurement.
+    pub ended_at: SimTime,
+    /// Per-peer records, keyed by peer ID.
+    pub peers: BTreeMap<PeerId, PeerRecord>,
+    /// Per-connection records, in open order.
+    pub connections: Vec<ConnectionRecord>,
+    /// Periodic snapshots.
+    pub snapshots: Vec<SnapshotRecord>,
+}
+
+impl MeasurementDataset {
+    /// Creates an empty data set.
+    pub fn new(client: impl Into<String>, dht_server: bool, started_at: SimTime, ended_at: SimTime) -> Self {
+        MeasurementDataset {
+            client: client.into(),
+            dht_server,
+            started_at,
+            ended_at,
+            peers: BTreeMap::new(),
+            connections: Vec::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The measurement duration.
+    pub fn duration(&self) -> SimDuration {
+        self.ended_at - self.started_at
+    }
+
+    /// Number of peer IDs ever observed.
+    pub fn pid_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Number of peer IDs that ever announced the DHT-Server role.
+    pub fn dht_server_pid_count(&self) -> usize {
+        self.peers.values().filter(|p| p.ever_dht_server).count()
+    }
+
+    /// Number of peer IDs with at least one recorded connection.
+    pub fn connected_pid_count(&self) -> usize {
+        let mut peers: Vec<PeerId> = self.connections.iter().map(|c| c.peer).collect();
+        peers.sort();
+        peers.dedup();
+        peers.len()
+    }
+
+    /// Total number of recorded connections.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// The connections of one peer.
+    pub fn connections_of(&self, peer: &PeerId) -> Vec<&ConnectionRecord> {
+        self.connections.iter().filter(|c| c.peer == *peer).collect()
+    }
+
+    /// Merges another data set into this one (hydra heads → union view).
+    ///
+    /// Peer records are merged by keeping the earliest first-seen, the latest
+    /// last-seen and the metadata of the record seen more recently; change
+    /// histories and connections are concatenated. Snapshots are kept from
+    /// `self` only (they describe a single vantage point).
+    pub fn merge(&mut self, other: &MeasurementDataset) {
+        for (peer, record) in &other.peers {
+            match self.peers.get_mut(peer) {
+                None => {
+                    self.peers.insert(*peer, record.clone());
+                }
+                Some(existing) => {
+                    if record.last_seen > existing.last_seen {
+                        existing.agent = record.agent.clone();
+                        existing.protocols = record.protocols.clone();
+                        existing.dht_server = record.dht_server;
+                        existing.last_seen = record.last_seen;
+                    }
+                    existing.first_seen = existing.first_seen.min(record.first_seen);
+                    existing.ever_dht_server |= record.ever_dht_server;
+                    existing.metadata_known |= record.metadata_known;
+                    for addr in &record.addrs {
+                        if !existing.addrs.contains(addr) {
+                            existing.addrs.push(*addr);
+                        }
+                    }
+                    existing.changes.extend(record.changes.iter().cloned());
+                    existing.changes.sort_by_key(|c| c.at);
+                }
+            }
+        }
+        self.connections.extend(other.connections.iter().cloned());
+        self.connections.sort_by_key(|c| c.opened_at);
+        self.started_at = self.started_at.min(other.started_at);
+        self.ended_at = self.ended_at.max(other.ended_at);
+    }
+
+    /// Serialises the data set to pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialisation fails (it cannot for this type) or
+    /// the writer reports an I/O error.
+    pub fn write_json<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
+        serde_json::to_writer_pretty(writer, self)
+    }
+
+    /// Reads a data set back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not valid JSON for this schema.
+    pub fn read_json<R: Read>(reader: R) -> Result<Self, serde_json::Error> {
+        serde_json::from_reader(reader)
+    }
+
+    /// Serialises to a JSON string.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string(self).expect("dataset serialisation cannot fail")
+    }
+
+    /// Parses a data set from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not valid JSON for this schema.
+    pub fn from_json_str(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmodel::{ConnectionId, Direction, IpAddress, Multiaddr, Transport};
+
+    fn addr(n: u32) -> Multiaddr {
+        Multiaddr::new(IpAddress::V4(n), Transport::Tcp, 4001)
+    }
+
+    fn dataset_with(peer_count: u64, conn_count: u64) -> MeasurementDataset {
+        let mut ds = MeasurementDataset::new("go-ipfs", true, SimTime::ZERO, SimTime::from_hours(24));
+        for i in 0..peer_count {
+            let mut record = PeerRecord::new(PeerId::derived(i), SimTime::from_secs(i));
+            record.ever_dht_server = i % 3 == 0;
+            record.metadata_known = true;
+            ds.peers.insert(record.peer, record);
+        }
+        for i in 0..conn_count {
+            ds.connections.push(ConnectionRecord {
+                id: ConnectionId(i),
+                peer: PeerId::derived(i % peer_count.max(1)),
+                direction: Direction::Inbound,
+                remote_addr: addr(i as u32),
+                opened_at: SimTime::from_secs(i * 10),
+                closed_at: SimTime::from_secs(i * 10 + 60),
+                open_at_end: false,
+                close_reason: None,
+            });
+        }
+        ds
+    }
+
+    #[test]
+    fn counts_reflect_contents() {
+        let ds = dataset_with(9, 18);
+        assert_eq!(ds.pid_count(), 9);
+        assert_eq!(ds.connection_count(), 18);
+        assert_eq!(ds.connected_pid_count(), 9);
+        assert_eq!(ds.dht_server_pid_count(), 3);
+        assert_eq!(ds.duration(), SimDuration::from_hours(24));
+        assert_eq!(ds.connections_of(&PeerId::derived(0)).len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let ds = dataset_with(5, 7);
+        let json = ds.to_json_string();
+        let parsed = MeasurementDataset::from_json_str(&json).unwrap();
+        assert_eq!(parsed, ds);
+
+        let mut buf = Vec::new();
+        ds.write_json(&mut buf).unwrap();
+        let parsed = MeasurementDataset::read_json(buf.as_slice()).unwrap();
+        assert_eq!(parsed, ds);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(MeasurementDataset::from_json_str("not json").is_err());
+        assert!(MeasurementDataset::from_json_str("{\"client\":1}").is_err());
+    }
+
+    #[test]
+    fn merge_unions_peers_and_concatenates_connections() {
+        let mut a = dataset_with(4, 4);
+        let mut b = dataset_with(6, 3);
+        b.client = "hydra-h1".into();
+        // Give b newer metadata for peer 0.
+        if let Some(record) = b.peers.get_mut(&PeerId::derived(0)) {
+            record.last_seen = SimTime::from_hours(20);
+            record.agent = "go-ipfs/0.12.0/".into();
+        }
+        a.merge(&b);
+        assert_eq!(a.pid_count(), 6);
+        assert_eq!(a.connection_count(), 7);
+        assert_eq!(a.peers[&PeerId::derived(0)].agent, "go-ipfs/0.12.0/");
+        // Connections stay sorted by open time after merging.
+        for pair in a.connections.windows(2) {
+            assert!(pair[0].opened_at <= pair[1].opened_at);
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent_for_peer_sets() {
+        let mut a = dataset_with(4, 2);
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.pid_count(), 4);
+        // Connections are concatenated (the caller merges distinct heads, not
+        // the same data set twice), so the count doubles.
+        assert_eq!(a.connection_count(), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Passive measurement clients and data sets.
+//!
+//! This crate is the reproduction of the paper's primary contribution: the
+//! instrumented measurement clients and the data sets they export.
+//!
+//! * [`GoIpfsMonitor`] mirrors the instrumented go-ipfs client of §III-A: a
+//!   single-identity node that dumps its Peerstore and connection table every
+//!   30 s, so connection durations are quantised to the 30 s refresh.
+//! * [`HydraMonitor`] mirrors the instrumented hydra-booster of §III-B:
+//!   multiple heads with independent PIDs share one record store, peer data
+//!   is refreshed every minute and connection events are logged individually.
+//! * [`ActiveCrawler`] is the WB-crawler baseline of Fig. 2: a DHT crawler
+//!   that takes a fresh snapshot of the online DHT-Servers every eight hours.
+//! * [`MeasurementDataset`] is the JSON-exportable record format (peers,
+//!   metadata changes, connections, periodic snapshots) that all analyses in
+//!   the `analysis` crate consume.
+//! * [`MeasurementCampaign`] / [`run_period`] tie everything together: build
+//!   a scenario, run the simulation, feed every monitor and return the
+//!   complete data for one measurement period.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crawler;
+pub mod dataset;
+pub mod monitor;
+pub mod record;
+pub mod runner;
+
+pub use crawler::{ActiveCrawler, CrawlSnapshot, CrawlSummary};
+pub use dataset::MeasurementDataset;
+pub use monitor::{GoIpfsMonitor, HydraMonitor};
+pub use record::{ConnectionRecord, MetadataChangeRecord, PeerRecord, SnapshotRecord};
+pub use runner::{run_period, run_scenario, MeasurementCampaign};

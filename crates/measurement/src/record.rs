@@ -1,0 +1,203 @@
+//! The record types exported by the measurement clients.
+//!
+//! The paper's instrumented clients periodically export JSON files containing
+//! per-peer information (agent version, protocols, multiaddresses, change
+//! history) and per-connection information (direction, multiaddress, open and
+//! close timestamps). These types mirror that export format; everything the
+//! `analysis` crate computes is a function of these records.
+
+use p2pmodel::{CloseReason, ConnectionId, Direction, Multiaddr, PeerId};
+use serde::{Deserialize, Serialize};
+use simclock::{SimDuration, SimTime};
+
+/// A change to a peer's recorded metadata, with the observation timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetadataChangeRecord {
+    /// When the change was observed.
+    pub at: SimTime,
+    /// Which field changed (`"agent"`, `"protocols"`, `"addrs"`).
+    pub field: String,
+    /// The previous value, rendered as text.
+    pub old: String,
+    /// The new value, rendered as text.
+    pub new: String,
+}
+
+/// Everything recorded about one peer ID.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerRecord {
+    /// The peer ID.
+    pub peer: PeerId,
+    /// The latest agent version string ("" if none was ever obtained).
+    pub agent: String,
+    /// The latest announced protocols.
+    pub protocols: Vec<String>,
+    /// Multiaddresses the peer was observed with.
+    pub addrs: Vec<Multiaddr>,
+    /// When the peer was first observed.
+    pub first_seen: SimTime,
+    /// When the peer was last observed.
+    pub last_seen: SimTime,
+    /// Whether the peer currently announces `/ipfs/kad/1.0.0`.
+    pub dht_server: bool,
+    /// Whether the peer ever announced `/ipfs/kad/1.0.0` during the
+    /// measurement.
+    pub ever_dht_server: bool,
+    /// Whether identify metadata was ever obtained for the peer.
+    pub metadata_known: bool,
+    /// Recorded metadata changes, in observation order.
+    pub changes: Vec<MetadataChangeRecord>,
+}
+
+impl PeerRecord {
+    /// Creates a record for a peer first observed at `at`.
+    pub fn new(peer: PeerId, at: SimTime) -> Self {
+        PeerRecord {
+            peer,
+            agent: String::new(),
+            protocols: Vec::new(),
+            addrs: Vec::new(),
+            first_seen: at,
+            last_seen: at,
+            dht_server: false,
+            ever_dht_server: false,
+            metadata_known: false,
+            changes: Vec::new(),
+        }
+    }
+
+    /// Whether any Bitswap variant is announced (used by the anomaly
+    /// analysis: go-ipfs agents without Bitswap).
+    pub fn supports_bitswap(&self) -> bool {
+        self.protocols
+            .iter()
+            .any(|p| p.starts_with("/ipfs/bitswap"))
+    }
+
+    /// Whether any storm-specific protocol is announced.
+    pub fn has_storm_markers(&self) -> bool {
+        self.protocols
+            .iter()
+            .any(|p| p.starts_with("/sbptp") || p.starts_with("/sfst"))
+    }
+
+    /// Number of recorded changes touching the given field.
+    pub fn change_count(&self, field: &str) -> usize {
+        self.changes.iter().filter(|c| c.field == field).count()
+    }
+}
+
+/// One observed connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionRecord {
+    /// Connection identifier.
+    pub id: ConnectionId,
+    /// The remote peer.
+    pub peer: PeerId,
+    /// Direction relative to the measurement node.
+    pub direction: Direction,
+    /// The remote multiaddress.
+    pub remote_addr: Multiaddr,
+    /// When the connection was opened (as recorded by the client).
+    pub opened_at: SimTime,
+    /// When the connection was closed (connections still open at the end of
+    /// the measurement are recorded as closed at that moment).
+    pub closed_at: SimTime,
+    /// Whether the connection was still open when the measurement ended.
+    pub open_at_end: bool,
+    /// Ground-truth close reason from the simulator. Real measurements do not
+    /// have this field; analyses that reproduce the paper ignore it, while
+    /// validation tests use it to confirm the paper's *inference* that most
+    /// closes are due to trimming.
+    pub close_reason: Option<CloseReason>,
+}
+
+impl ConnectionRecord {
+    /// The recorded connection duration.
+    pub fn duration(&self) -> SimDuration {
+        self.closed_at - self.opened_at
+    }
+
+    /// The recorded duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.duration().as_secs_f64()
+    }
+
+    /// Whether the connection was inbound.
+    pub fn is_inbound(&self) -> bool {
+        self.direction == Direction::Inbound
+    }
+}
+
+/// A periodic snapshot of the client's state (every 30 s for go-ipfs, every
+/// minute for hydra heads), the basis of Fig. 5 and Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotRecord {
+    /// Snapshot timestamp.
+    pub at: SimTime,
+    /// Number of simultaneously open connections.
+    pub open_connections: usize,
+    /// Number of peer IDs ever seen up to this snapshot.
+    pub known_pids: usize,
+    /// Number of peer IDs currently connected.
+    pub connected_pids: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmodel::{IpAddress, Transport};
+
+    fn addr() -> Multiaddr {
+        Multiaddr::new(IpAddress::V4(1), Transport::Tcp, 4001)
+    }
+
+    #[test]
+    fn peer_record_protocol_helpers() {
+        let mut record = PeerRecord::new(PeerId::derived(1), SimTime::ZERO);
+        assert!(!record.supports_bitswap());
+        assert!(!record.has_storm_markers());
+        record.protocols = vec!["/ipfs/bitswap/1.2.0".into(), "/ipfs/kad/1.0.0".into()];
+        assert!(record.supports_bitswap());
+        record.protocols = vec!["/sbptp/1.0.0".into()];
+        assert!(record.has_storm_markers());
+        assert!(!record.supports_bitswap());
+    }
+
+    #[test]
+    fn peer_record_change_counts() {
+        let mut record = PeerRecord::new(PeerId::derived(1), SimTime::ZERO);
+        record.changes.push(MetadataChangeRecord {
+            at: SimTime::from_secs(10),
+            field: "agent".into(),
+            old: "go-ipfs/0.10.0/".into(),
+            new: "go-ipfs/0.11.0/".into(),
+        });
+        record.changes.push(MetadataChangeRecord {
+            at: SimTime::from_secs(20),
+            field: "protocols".into(),
+            old: String::new(),
+            new: String::new(),
+        });
+        assert_eq!(record.change_count("agent"), 1);
+        assert_eq!(record.change_count("protocols"), 1);
+        assert_eq!(record.change_count("addrs"), 0);
+    }
+
+    #[test]
+    fn connection_record_duration() {
+        let record = ConnectionRecord {
+            id: ConnectionId(1),
+            peer: PeerId::derived(1),
+            direction: Direction::Inbound,
+            remote_addr: addr(),
+            opened_at: SimTime::from_secs(100),
+            closed_at: SimTime::from_secs(190),
+            open_at_end: false,
+            close_reason: Some(CloseReason::TrimmedRemote),
+        };
+        assert_eq!(record.duration(), SimDuration::from_secs(90));
+        assert_eq!(record.duration_secs(), 90.0);
+        assert!(record.is_inbound());
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end measurement runs.
+//!
+//! [`run_period`] reproduces one of the paper's measurement periods: it
+//! builds the scenario (observers + population), runs the network simulation,
+//! feeds every passive monitor and the active-crawler baseline, and returns a
+//! [`MeasurementCampaign`] with everything the analyses need.
+
+use crate::crawler::{ActiveCrawler, CrawlSnapshot, CrawlSummary};
+use crate::dataset::MeasurementDataset;
+use crate::monitor::{GoIpfsMonitor, HydraMonitor};
+use netsim::{GroundTruth, ObserverLog};
+use population::{MeasurementPeriod, Scenario};
+use simclock::SimTime;
+
+/// The complete result of reproducing one measurement period.
+#[derive(Debug, Clone)]
+pub struct MeasurementCampaign {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// The go-ipfs client's data set, if one was deployed in this period.
+    pub go_ipfs: Option<MeasurementDataset>,
+    /// One data set per hydra head.
+    pub hydra_heads: Vec<MeasurementDataset>,
+    /// The union of all hydra heads (how the paper reports hydra PID counts),
+    /// if any head was deployed.
+    pub hydra_union: Option<MeasurementDataset>,
+    /// The active crawler's per-crawl snapshots.
+    pub crawls: Vec<CrawlSnapshot>,
+    /// Min/max/distinct summary of the crawl series.
+    pub crawl_summary: CrawlSummary,
+    /// Ground truth of the simulated network (for validation only).
+    pub ground_truth: GroundTruth,
+}
+
+impl MeasurementCampaign {
+    /// All passive data sets (go-ipfs plus every hydra head), in deployment
+    /// order — convenient for analyses that iterate over clients.
+    pub fn passive_datasets(&self) -> Vec<&MeasurementDataset> {
+        let mut datasets = Vec::new();
+        if let Some(go_ipfs) = &self.go_ipfs {
+            datasets.push(go_ipfs);
+        }
+        datasets.extend(self.hydra_heads.iter());
+        datasets
+    }
+
+    /// The primary data set of the campaign: the go-ipfs client if deployed,
+    /// otherwise the hydra union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign has neither (no period in the paper is like
+    /// that).
+    pub fn primary(&self) -> &MeasurementDataset {
+        self.go_ipfs
+            .as_ref()
+            .or(self.hydra_union.as_ref())
+            .expect("every measurement period deploys at least one client")
+    }
+}
+
+/// Runs a fully specified scenario.
+pub fn run_scenario(scenario: Scenario) -> MeasurementCampaign {
+    let run = scenario.build();
+    let duration = run.config.duration;
+    let output = netsim::Network::new(run.config, run.population.specs).run();
+
+    let go_ipfs_log: Option<&ObserverLog> = output.log("go-ipfs");
+    let hydra_logs: Vec<&ObserverLog> = output
+        .logs
+        .iter()
+        .filter(|l| l.observer.starts_with("hydra-h"))
+        .collect();
+
+    let go_ipfs = go_ipfs_log.map(|log| GoIpfsMonitor::new().ingest(log));
+    let (hydra_heads, hydra_union) = if hydra_logs.is_empty() {
+        (Vec::new(), None)
+    } else {
+        let (heads, union) = HydraMonitor::new().ingest(&hydra_logs);
+        (heads, Some(union))
+    };
+
+    let crawler = ActiveCrawler::new();
+    let (crawls, crawl_summary) =
+        crawler.crawl_summary(&output.ground_truth, SimTime::ZERO, SimTime::ZERO + duration);
+
+    MeasurementCampaign {
+        scenario,
+        go_ipfs,
+        hydra_heads,
+        hydra_union,
+        crawls,
+        crawl_summary,
+        ground_truth: output.ground_truth,
+    }
+}
+
+/// Runs one of the paper's measurement periods at the given population scale
+/// and seed.
+pub fn run_period(period: MeasurementPeriod, scale: f64, seed: u64) -> MeasurementCampaign {
+    run_scenario(Scenario::new(period).with_scale(scale).with_seed(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(period: MeasurementPeriod) -> MeasurementCampaign {
+        run_period(period, 0.004, 11)
+    }
+
+    #[test]
+    fn p1_campaign_has_goipfs_and_two_hydra_heads() {
+        let campaign = tiny(MeasurementPeriod::P1);
+        assert!(campaign.go_ipfs.is_some());
+        assert_eq!(campaign.hydra_heads.len(), 2);
+        assert!(campaign.hydra_union.is_some());
+        assert_eq!(campaign.passive_datasets().len(), 3);
+        assert_eq!(campaign.primary().client, "go-ipfs");
+        // The crawler runs every 8 h over a 1-day period → 3 crawls.
+        assert_eq!(campaign.crawls.len(), 3);
+        assert_eq!(campaign.crawl_summary.crawls, 3);
+    }
+
+    #[test]
+    fn p4_campaign_has_only_goipfs() {
+        let campaign = tiny(MeasurementPeriod::P4);
+        assert!(campaign.go_ipfs.is_some());
+        assert!(campaign.hydra_heads.is_empty());
+        assert!(campaign.hydra_union.is_none());
+        let ds = campaign.primary();
+        assert!(ds.dht_server, "P4 runs the go-ipfs client as DHT-Server");
+        assert!(ds.pid_count() > 0);
+        assert!(ds.connection_count() > 0);
+    }
+
+    #[test]
+    fn p3_client_campaign_sees_fewer_pids_than_p4() {
+        let p3 = tiny(MeasurementPeriod::P3);
+        let p4 = tiny(MeasurementPeriod::P4);
+        assert!(!p3.primary().dht_server);
+        assert!(
+            p3.primary().pid_count() < p4.primary().pid_count(),
+            "the DHT-Client deployment must see fewer PIDs ({} vs {})",
+            p3.primary().pid_count(),
+            p4.primary().pid_count()
+        );
+    }
+
+    #[test]
+    fn hydra_union_is_at_least_as_large_as_each_head() {
+        let campaign = tiny(MeasurementPeriod::P1);
+        let union = campaign.hydra_union.as_ref().unwrap();
+        for head in &campaign.hydra_heads {
+            assert!(union.pid_count() >= head.pid_count());
+        }
+    }
+
+    #[test]
+    fn passive_pids_are_a_superset_of_nothing_weird() {
+        // Every connected PID in the passive data set must exist in the
+        // simulated population (ground truth).
+        let campaign = tiny(MeasurementPeriod::P4);
+        let population: std::collections::BTreeSet<_> = campaign
+            .ground_truth
+            .peers
+            .iter()
+            .map(|(peer, _)| *peer)
+            .collect();
+        for peer in campaign.primary().peers.keys() {
+            assert!(population.contains(peer), "observed peer not in population");
+        }
+    }
+}

@@ -1,0 +1,902 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Network::run`] consumes a [`NetworkConfig`] and a population of
+//! [`RemotePeerSpec`]s and produces the observation log of every measurement
+//! node plus the ground truth of what actually happened. The engine models
+//! exactly the mechanisms the paper identifies as driving its observations:
+//!
+//! * remote peers come and go according to their session patterns (node
+//!   churn),
+//! * remote peers dial DHT-Server observers aggressively and DHT-Client
+//!   observers rarely (discoverability),
+//! * both sides trim connections: the observer through its real
+//!   [`p2pmodel::ConnectionManager`], the remote side through per-peer hold
+//!   times (connection churn ≫ node churn),
+//! * metadata changes propagate to connected observers via identify push.
+
+use crate::config::{NetworkConfig, ObserverSpec};
+use crate::events::{GroundTruth, GroundTruthEvent, ObservedEvent, ObserverLog};
+use crate::spec::{MetadataChange, RemotePeerSpec};
+use p2pmodel::{
+    protocol::well_known, CloseReason, ConnectionId, ConnectionManager, Direction, IdentifyInfo,
+    ProtocolId,
+};
+use simclock::{EventQueue, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutput {
+    /// One observation log per observer, in the order they were configured.
+    pub logs: Vec<ObserverLog>,
+    /// Ground truth of the simulated network.
+    pub ground_truth: GroundTruth,
+}
+
+impl SimulationOutput {
+    /// Looks up an observer log by name.
+    pub fn log(&self, observer: &str) -> Option<&ObserverLog> {
+        self.logs.iter().find(|l| l.observer == observer)
+    }
+}
+
+/// Internal scheduler events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimEvent {
+    PeerOnline(usize),
+    PeerOffline(usize),
+    RemoteDial { peer: usize, observer: usize },
+    RemoteClose { conn: ConnectionId, observer: usize },
+    Maintenance { observer: usize },
+    Metadata { peer: usize, change_idx: usize },
+    GossipDiscover { peer: usize, observer: usize },
+}
+
+/// Per-peer runtime state.
+struct PeerState {
+    online: bool,
+    identify: IdentifyInfo,
+    next_session_end: Option<SimTime>,
+    next_change: usize,
+}
+
+/// Per-observer runtime state.
+struct ObserverState {
+    spec: ObserverSpec,
+    connmgr: ConnectionManager,
+    log: ObserverLog,
+    /// Open connections: id -> (peer index, direction).
+    conn_peer: HashMap<ConnectionId, (usize, Direction)>,
+    /// Open connection per peer (at most one per peer/observer pair).
+    peer_conn: HashMap<usize, ConnectionId>,
+    outbound_open: usize,
+}
+
+/// Membership structure for sampling random online DHT-Servers in O(1).
+#[derive(Default)]
+struct OnlineServers {
+    list: Vec<usize>,
+    pos: HashMap<usize, usize>,
+}
+
+impl OnlineServers {
+    fn insert(&mut self, peer: usize) {
+        if self.pos.contains_key(&peer) {
+            return;
+        }
+        self.pos.insert(peer, self.list.len());
+        self.list.push(peer);
+    }
+
+    fn remove(&mut self, peer: usize) {
+        if let Some(idx) = self.pos.remove(&peer) {
+            let last = self.list.len() - 1;
+            self.list.swap(idx, last);
+            self.list.pop();
+            if idx < self.list.len() {
+                let moved = self.list[idx];
+                self.pos.insert(moved, idx);
+            }
+        }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> Option<usize> {
+        if self.list.is_empty() {
+            None
+        } else {
+            Some(self.list[rng.index(self.list.len())])
+        }
+    }
+}
+
+/// The simulated network: configuration plus population.
+///
+/// # Example
+///
+/// ```
+/// use netsim::{DhtRole, Network, NetworkConfig, ObserverSpec, RemotePeerSpec};
+/// use p2pmodel::{AgentVersion, ConnLimits, IdentifyInfo, IpAddress, Multiaddr, PeerId, ProtocolSet};
+/// use simclock::SimDuration;
+///
+/// let observer = ObserverSpec::new("go-ipfs", PeerId::derived(0), DhtRole::Server, ConnLimits::new(50, 80));
+/// let config = NetworkConfig::single_observer(7, SimDuration::from_hours(1), observer);
+/// let peers: Vec<RemotePeerSpec> = (1..20)
+///     .map(|i| {
+///         RemotePeerSpec::new(
+///             PeerId::derived(i),
+///             Multiaddr::default_swarm(IpAddress::V4(i as u32)),
+///             IdentifyInfo::new(
+///                 AgentVersion::parse("go-ipfs/0.11.0/"),
+///                 ProtocolSet::go_ipfs_dht_server(),
+///                 Vec::new(),
+///             ),
+///         )
+///     })
+///     .collect();
+/// let output = Network::new(config, peers).run();
+/// assert_eq!(output.logs.len(), 1);
+/// assert!(!output.logs[0].is_empty());
+/// ```
+pub struct Network {
+    config: NetworkConfig,
+    peers: Vec<RemotePeerSpec>,
+}
+
+impl Network {
+    /// Creates a network from a configuration and a population.
+    pub fn new(config: NetworkConfig, peers: Vec<RemotePeerSpec>) -> Self {
+        Network { config, peers }
+    }
+
+    /// Number of peers in the population.
+    pub fn population_size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Runs the simulation to completion and returns the observation logs and
+    /// ground truth.
+    pub fn run(self) -> SimulationOutput {
+        Runner::new(self.config, self.peers).run()
+    }
+}
+
+struct Runner {
+    end: SimTime,
+    rng: SimRng,
+    queue: EventQueue<SimEvent>,
+    peers: Vec<RemotePeerSpec>,
+    peer_states: Vec<PeerState>,
+    observers: Vec<ObserverState>,
+    online_servers: OnlineServers,
+    ground_truth: GroundTruth,
+    next_conn_id: u64,
+}
+
+impl Runner {
+    fn new(config: NetworkConfig, peers: Vec<RemotePeerSpec>) -> Self {
+        let end = config.end_time();
+        let rng = SimRng::seed_from(config.seed);
+        let peer_states = peers
+            .iter()
+            .map(|spec| PeerState {
+                online: false,
+                identify: spec.identify.clone(),
+                next_session_end: None,
+                next_change: 0,
+            })
+            .collect();
+        let observers = config
+            .observers
+            .iter()
+            .map(|spec| ObserverState {
+                connmgr: ConnectionManager::new(spec.limits),
+                log: ObserverLog::new(
+                    spec.name.clone(),
+                    spec.peer_id,
+                    spec.role.is_server(),
+                    SimTime::ZERO,
+                ),
+                conn_peer: HashMap::new(),
+                peer_conn: HashMap::new(),
+                outbound_open: 0,
+                spec: spec.clone(),
+            })
+            .collect();
+        let ground_truth = GroundTruth {
+            peers: peers
+                .iter()
+                .map(|p| (p.peer_id, p.is_dht_server()))
+                .collect(),
+            events: Vec::new(),
+        };
+        Runner {
+            end,
+            rng,
+            queue: EventQueue::new(),
+            peers,
+            peer_states,
+            observers,
+            online_servers: OnlineServers::default(),
+            ground_truth,
+            next_conn_id: 0,
+        }
+    }
+
+    fn run(mut self) -> SimulationOutput {
+        self.schedule_initial_events();
+        while let Some((now, event)) = self.queue.pop_until(self.end) {
+            self.handle(now, event);
+        }
+        self.finish()
+    }
+
+    fn schedule_initial_events(&mut self) {
+        for idx in 0..self.peers.len() {
+            let (start, session_end) = {
+                let spec = &self.peers[idx];
+                spec.session.first_session(&mut self.rng)
+            };
+            self.peer_states[idx].next_session_end = session_end;
+            self.queue.schedule(start, SimEvent::PeerOnline(idx));
+
+            for (change_idx, change) in self.peers[idx].changes.iter().enumerate() {
+                self.queue.schedule(
+                    change.at,
+                    SimEvent::Metadata {
+                        peer: idx,
+                        change_idx,
+                    },
+                );
+            }
+        }
+        for obs_idx in 0..self.observers.len() {
+            let interval = self.observers[obs_idx].spec.maintenance_interval;
+            self.queue
+                .schedule(SimTime::ZERO + interval, SimEvent::Maintenance { observer: obs_idx });
+            // Gossip discovery: some peers become Peerstore entries without a
+            // connection, at a random point of the run.
+            for peer_idx in 0..self.peers.len() {
+                let visibility = self.peers[peer_idx].gossip_visibility;
+                if visibility > 0.0 && self.rng.chance(visibility) {
+                    let at = SimTime::from_millis(self.rng.uniform_u64(0, self.end.as_millis().max(1)));
+                    self.queue.schedule(
+                        at,
+                        SimEvent::GossipDiscover {
+                            peer: peer_idx,
+                            observer: obs_idx,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: SimEvent) {
+        match event {
+            SimEvent::PeerOnline(peer) => self.handle_peer_online(now, peer),
+            SimEvent::PeerOffline(peer) => self.handle_peer_offline(now, peer),
+            SimEvent::RemoteDial { peer, observer } => self.handle_remote_dial(now, peer, observer),
+            SimEvent::RemoteClose { conn, observer } => {
+                self.handle_remote_close(now, conn, observer)
+            }
+            SimEvent::Maintenance { observer } => self.handle_maintenance(now, observer),
+            SimEvent::Metadata { peer, change_idx } => self.handle_metadata(now, peer, change_idx),
+            SimEvent::GossipDiscover { peer, observer } => {
+                self.handle_gossip(now, peer, observer)
+            }
+        }
+    }
+
+    fn handle_peer_online(&mut self, now: SimTime, peer: usize) {
+        if self.peer_states[peer].online {
+            return;
+        }
+        self.peer_states[peer].online = true;
+        self.ground_truth.events.push(GroundTruthEvent::PeerOnline {
+            at: now,
+            peer: self.peers[peer].peer_id,
+        });
+        if self.peer_states[peer].identify.is_dht_server() {
+            self.online_servers.insert(peer);
+        }
+        if let Some(end) = self.peer_states[peer].next_session_end {
+            self.queue.schedule(end, SimEvent::PeerOffline(peer));
+        }
+        // Decide, per observer, whether this peer will dial it this session.
+        for obs_idx in 0..self.observers.len() {
+            let observer_is_server = self.observers[obs_idx].spec.role.is_server();
+            let dials = {
+                let behavior = &self.peers[peer].behavior;
+                behavior.dials(observer_is_server, &mut self.rng)
+            };
+            if dials {
+                let delay = self.peers[peer].behavior.sample_redial_delay(&mut self.rng);
+                self.queue.schedule(
+                    now + delay,
+                    SimEvent::RemoteDial {
+                        peer,
+                        observer: obs_idx,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_peer_offline(&mut self, now: SimTime, peer: usize) {
+        if !self.peer_states[peer].online {
+            return;
+        }
+        self.peer_states[peer].online = false;
+        self.online_servers.remove(peer);
+        self.ground_truth.events.push(GroundTruthEvent::PeerOffline {
+            at: now,
+            peer: self.peers[peer].peer_id,
+        });
+        // Close all connections this peer has with any observer.
+        for obs_idx in 0..self.observers.len() {
+            if let Some(conn) = self.observers[obs_idx].peer_conn.get(&peer).copied() {
+                self.close_connection(now, obs_idx, conn, CloseReason::PeerLeft, false);
+            }
+        }
+        // Schedule the next session, if the pattern rejoins.
+        let next = {
+            let spec = &self.peers[peer];
+            spec.session.next_session(now, &mut self.rng)
+        };
+        if let Some((start, end)) = next {
+            self.peer_states[peer].next_session_end = end;
+            self.queue.schedule(start, SimEvent::PeerOnline(peer));
+        }
+    }
+
+    fn handle_remote_dial(&mut self, now: SimTime, peer: usize, observer: usize) {
+        if !self.peer_states[peer].online {
+            return;
+        }
+        if self.observers[observer].peer_conn.contains_key(&peer) {
+            return;
+        }
+        self.open_connection(now, observer, peer, Direction::Inbound);
+    }
+
+    fn handle_remote_close(&mut self, now: SimTime, conn: ConnectionId, observer: usize) {
+        if !self.observers[observer].conn_peer.contains_key(&conn) {
+            return;
+        }
+        self.close_connection(now, observer, conn, CloseReason::TrimmedRemote, true);
+    }
+
+    fn handle_maintenance(&mut self, now: SimTime, observer: usize) {
+        // Outbound dialing: the observer maintains a modest number of
+        // outbound connections for DHT routing (bootstrap, bucket refresh).
+        let target = self.observers[observer].spec.outbound_target;
+        let mut budget = 4usize;
+        while budget > 0 && self.observers[observer].outbound_open < target {
+            let Some(peer) = self.online_servers.sample(&mut self.rng) else {
+                break;
+            };
+            if self.observers[observer].peer_conn.contains_key(&peer) {
+                budget -= 1;
+                continue;
+            }
+            self.open_connection(now, observer, peer, Direction::Outbound);
+            budget -= 1;
+        }
+
+        // Trim check: the observer's own connection manager.
+        let decision = self.observers[observer].connmgr.maybe_trim(now);
+        for conn in decision.to_close {
+            self.close_connection(now, observer, conn, CloseReason::TrimmedLocal, true);
+        }
+
+        // Next maintenance pass.
+        let interval = self.observers[observer].spec.maintenance_interval;
+        let next = now + interval;
+        if next <= self.end {
+            self.queue
+                .schedule(next, SimEvent::Maintenance { observer });
+        }
+    }
+
+    fn handle_metadata(&mut self, now: SimTime, peer: usize, change_idx: usize) {
+        if change_idx != self.peer_states[peer].next_change {
+            // Changes are applied strictly in order; out-of-order events can
+            // only happen if the spec listed duplicate timestamps, in which
+            // case the queue's FIFO tie-break keeps them ordered anyway.
+        }
+        let Some(scheduled) = self.peers[peer].changes.get(change_idx) else {
+            return;
+        };
+        let was_server = self.peer_states[peer].identify.is_dht_server();
+        {
+            let identify = &mut self.peer_states[peer].identify;
+            match &scheduled.change {
+                MetadataChange::SetAgent(agent) => identify.agent = agent.clone(),
+                MetadataChange::AddProtocol(p) => {
+                    identify.protocols.insert(ProtocolId::new(p.clone()));
+                }
+                MetadataChange::RemoveProtocol(p) => {
+                    identify.protocols.remove(p);
+                }
+                MetadataChange::SetProtocols(protocols) => identify.protocols = protocols.clone(),
+            }
+        }
+        self.peer_states[peer].next_change = change_idx + 1;
+        let is_server = self.peer_states[peer].identify.is_dht_server();
+        if was_server != is_server {
+            self.ground_truth.events.push(GroundTruthEvent::RoleChanged {
+                at: now,
+                peer: self.peers[peer].peer_id,
+                dht_server: is_server,
+            });
+            if self.peer_states[peer].online {
+                if is_server {
+                    self.online_servers.insert(peer);
+                } else {
+                    self.online_servers.remove(peer);
+                }
+            }
+        }
+        // Identify push to every observer currently connected to the peer.
+        let info = self.peer_states[peer].identify.clone();
+        let peer_id = self.peers[peer].peer_id;
+        for obs in &mut self.observers {
+            if obs.peer_conn.contains_key(&peer) {
+                obs.log.events.push(ObservedEvent::IdentifyReceived {
+                    at: now,
+                    peer: peer_id,
+                    info: info.clone(),
+                });
+            }
+        }
+    }
+
+    fn handle_gossip(&mut self, now: SimTime, peer: usize, observer: usize) {
+        let peer_id = self.peers[peer].peer_id;
+        let addr = self.peers[peer].addr;
+        self.observers[observer]
+            .log
+            .events
+            .push(ObservedEvent::PeerDiscovered {
+                at: now,
+                peer: peer_id,
+                addr,
+            });
+    }
+
+    fn open_connection(&mut self, now: SimTime, observer: usize, peer: usize, direction: Direction) {
+        let conn = ConnectionId(self.next_conn_id);
+        self.next_conn_id += 1;
+        let peer_id = self.peers[peer].peer_id;
+        let addr = self.peers[peer].addr;
+
+        let obs = &mut self.observers[observer];
+        obs.log.events.push(ObservedEvent::ConnectionOpened {
+            at: now,
+            conn,
+            peer: peer_id,
+            direction,
+            remote_addr: addr,
+        });
+        obs.conn_peer.insert(conn, (peer, direction));
+        obs.peer_conn.insert(peer, conn);
+        if direction == Direction::Outbound {
+            obs.outbound_open += 1;
+        }
+        obs.connmgr.track(conn, peer_id, now);
+
+        // Value tagging: DHT-Servers are worth keeping (they answer routing
+        // queries), plus whatever archetype-specific value the population
+        // assigned. Outbound connections are the observer's own routing
+        // contacts and are protected like go-ipfs protects bootstrap peers.
+        let mut value = self.peers[peer].behavior.observer_value;
+        if self.peer_states[peer].identify.is_dht_server() {
+            value += 10;
+        }
+        obs.connmgr.tag(conn, value);
+        if direction == Direction::Outbound {
+            obs.connmgr.protect(conn);
+        }
+
+        // Identify exchange.
+        let identify_prob = self.peers[peer].behavior.identify_prob;
+        if self.rng.chance(identify_prob) {
+            let info = self.peer_states[peer].identify.clone();
+            self.observers[observer]
+                .log
+                .events
+                .push(ObservedEvent::IdentifyReceived {
+                    at: now,
+                    peer: peer_id,
+                    info,
+                });
+        }
+
+        // The remote side will eventually trim the connection (or the peer
+        // goes offline first, handled by PeerOffline). Connections the remote
+        // peer initiated are ones it wanted and values; connections *we*
+        // dialed are unsolicited from its point of view and get the
+        // lower-value hold time — which is why the paper observes shorter
+        // outbound than inbound durations.
+        let observer_is_server = self.observers[observer].spec.role.is_server();
+        let valued_by_remote = observer_is_server && direction == Direction::Inbound;
+        let hold = self.peers[peer]
+            .behavior
+            .sample_hold(valued_by_remote, &mut self.rng);
+        self.queue
+            .schedule(now + hold, SimEvent::RemoteClose { conn, observer });
+    }
+
+    fn close_connection(
+        &mut self,
+        now: SimTime,
+        observer: usize,
+        conn: ConnectionId,
+        reason: CloseReason,
+        maybe_reconnect: bool,
+    ) {
+        let obs = &mut self.observers[observer];
+        let Some((peer, direction)) = obs.conn_peer.remove(&conn) else {
+            return;
+        };
+        obs.peer_conn.remove(&peer);
+        if direction == Direction::Outbound {
+            obs.outbound_open = obs.outbound_open.saturating_sub(1);
+        }
+        // The manager may or may not still track the connection (it already
+        // dropped it if the close came from a local trim).
+        obs.connmgr.untrack(conn);
+        obs.log.events.push(ObservedEvent::ConnectionClosed {
+            at: now,
+            conn,
+            peer: self.peers[peer].peer_id,
+            reason,
+        });
+
+        // Only the remote side re-establishes *inbound* connections; lost
+        // outbound connections are replaced by the observer's own maintenance
+        // dialing (not necessarily to the same peer).
+        if maybe_reconnect
+            && direction == Direction::Inbound
+            && self.peer_states[peer].online
+            && self.peers[peer].behavior.reconnect
+        {
+            let delay = self.peers[peer].behavior.sample_redial_delay(&mut self.rng);
+            self.queue.schedule(
+                now + delay,
+                SimEvent::RemoteDial {
+                    peer,
+                    observer,
+                },
+            );
+        }
+    }
+
+    fn finish(mut self) -> SimulationOutput {
+        let end = self.end;
+        // Close everything still open; the paper counts connections still
+        // active at the end of a measurement as closed at that moment.
+        for obs_idx in 0..self.observers.len() {
+            let open: Vec<ConnectionId> = self.observers[obs_idx].conn_peer.keys().copied().collect();
+            let mut open = open;
+            open.sort();
+            for conn in open {
+                self.close_connection(end, obs_idx, conn, CloseReason::MeasurementEnd, false);
+            }
+        }
+        let mut logs = Vec::with_capacity(self.observers.len());
+        for mut obs in self.observers {
+            obs.log.ended_at = end;
+            obs.log.events.sort_by_key(|e| e.at());
+            logs.push(obs.log);
+        }
+        self.ground_truth.events.sort_by_key(|e| e.at());
+        SimulationOutput {
+            logs,
+            ground_truth: self.ground_truth,
+        }
+    }
+}
+
+/// Convenience: the protocol toggled by DHT role switches; re-exported here
+/// so population builders and tests do not need to import `p2pmodel`
+/// internals.
+pub const KAD_PROTOCOL: &str = well_known::KAD;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DhtRole, ObserverSpec};
+    use crate::spec::{DialBehavior, ScheduledChange, SessionPattern};
+    use p2pmodel::{AgentVersion, ConnLimits, IpAddress, Multiaddr, PeerId, ProtocolSet};
+    use simclock::SimDuration;
+
+    fn server_identify() -> IdentifyInfo {
+        IdentifyInfo::new(
+            AgentVersion::parse("go-ipfs/0.11.0/"),
+            ProtocolSet::go_ipfs_dht_server(),
+            Vec::new(),
+        )
+    }
+
+    fn peer(i: u64) -> RemotePeerSpec {
+        RemotePeerSpec::new(
+            PeerId::derived(i),
+            Multiaddr::default_swarm(IpAddress::V4(i as u32 + 1)),
+            server_identify(),
+        )
+    }
+
+    fn observer(limits: ConnLimits, role: DhtRole) -> ObserverSpec {
+        ObserverSpec::new("obs", PeerId::derived(1_000_000), role, limits)
+    }
+
+    fn run(
+        peers: Vec<RemotePeerSpec>,
+        limits: ConnLimits,
+        role: DhtRole,
+        hours: u64,
+        seed: u64,
+    ) -> SimulationOutput {
+        let config = NetworkConfig::single_observer(
+            seed,
+            SimDuration::from_hours(hours),
+            observer(limits, role),
+        );
+        Network::new(config, peers).run()
+    }
+
+    #[test]
+    fn every_open_has_a_matching_close() {
+        let peers: Vec<_> = (0..50).map(peer).collect();
+        let output = run(peers, ConnLimits::new(10, 20), DhtRole::Server, 2, 1);
+        let log = &output.logs[0];
+        let mut open = 0i64;
+        let mut opens = 0;
+        let mut closes = 0;
+        for event in &log.events {
+            match event {
+                ObservedEvent::ConnectionOpened { .. } => {
+                    open += 1;
+                    opens += 1;
+                }
+                ObservedEvent::ConnectionClosed { .. } => {
+                    open -= 1;
+                    closes += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(opens > 0, "simulation should produce connections");
+        assert_eq!(opens, closes, "every connection must eventually close");
+        assert_eq!(open, 0);
+    }
+
+    #[test]
+    fn connection_count_respects_trimming_pressure() {
+        let peers: Vec<_> = (0..200)
+            .map(|i| {
+                peer(i).with_behavior(DialBehavior {
+                    // Long remote holds so only the local manager trims.
+                    hold_server_median_secs: 100_000.0,
+                    hold_sigma: 0.1,
+                    redial_median_secs: 30.0,
+                    ..DialBehavior::default_peer()
+                })
+            })
+            .collect();
+        let output = run(peers, ConnLimits::new(20, 40), DhtRole::Server, 3, 2);
+        let log = &output.logs[0];
+        // Reconstruct the simultaneous connection count right after every
+        // maintenance pass; it must return to at most HighWater shortly after
+        // each trim. We check the count at the end of the run is bounded by
+        // HighWater plus the dials that can arrive within one interval.
+        let conns = log.connections();
+        assert!(!conns.is_empty());
+        let still_open_before_end = conns
+            .iter()
+            .filter(|c| {
+                c.close_reason() == Some(CloseReason::MeasurementEnd)
+            })
+            .count();
+        assert!(
+            still_open_before_end <= 40 + 200,
+            "local trimming must keep the connection count near the watermarks"
+        );
+        // Local trims must actually have happened.
+        let local_trims = conns
+            .iter()
+            .filter(|c| c.close_reason() == Some(CloseReason::TrimmedLocal))
+            .count();
+        assert!(local_trims > 0, "expected local connection trimming");
+    }
+
+    #[test]
+    fn dht_client_observer_attracts_far_fewer_inbound_dials() {
+        let make_peers = || (0..300).map(peer).collect::<Vec<_>>();
+        let as_server = run(make_peers(), ConnLimits::new(1000, 2000), DhtRole::Server, 2, 3);
+        let as_client = run(make_peers(), ConnLimits::new(1000, 2000), DhtRole::Client, 2, 3);
+        // Count distinct peers that dialed *us* (inbound) — the measure of how
+        // attractive the observer is to the rest of the network. The client
+        // observer is not discoverable via the DHT, so almost nobody dials it.
+        let inbound_peers = |output: &SimulationOutput| {
+            let mut peers: Vec<_> = output.logs[0]
+                .connections()
+                .into_iter()
+                .filter(|c| c.direction == Direction::Inbound)
+                .map(|c| c.peer)
+                .collect();
+            peers.sort();
+            peers.dedup();
+            peers.len()
+        };
+        let server_inbound = inbound_peers(&as_server);
+        let client_inbound = inbound_peers(&as_client);
+        assert!(
+            client_inbound < server_inbound / 2,
+            "client observer ({client_inbound}) should attract far fewer inbound dialers than server ({server_inbound})"
+        );
+    }
+
+    #[test]
+    fn one_shot_peers_do_not_return() {
+        let peers: Vec<_> = (0..20)
+            .map(|i| {
+                peer(i).with_session(SessionPattern::OneShot {
+                    arrival_secs: 60.0,
+                    stay_secs: 120.0,
+                })
+            })
+            .collect();
+        let output = run(peers, ConnLimits::new(100, 200), DhtRole::Server, 2, 4);
+        // After the one-shot sessions end there must be no online peers.
+        let online = output.ground_truth.online_at(SimTime::from_hours(1));
+        assert!(online.is_empty());
+        // And each peer has exactly one online and one offline event.
+        let onlines = output
+            .ground_truth
+            .events
+            .iter()
+            .filter(|e| matches!(e, GroundTruthEvent::PeerOnline { .. }))
+            .count();
+        let offlines = output
+            .ground_truth
+            .events
+            .iter()
+            .filter(|e| matches!(e, GroundTruthEvent::PeerOffline { .. }))
+            .count();
+        assert_eq!(onlines, 20);
+        assert_eq!(offlines, 20);
+    }
+
+    #[test]
+    fn metadata_changes_reach_connected_observers_and_ground_truth() {
+        let mut p = peer(0).with_behavior(DialBehavior {
+            hold_server_median_secs: 100_000.0,
+            hold_sigma: 0.1,
+            redial_median_secs: 5.0,
+            ..DialBehavior::default_peer()
+        });
+        p = p.with_changes(vec![ScheduledChange {
+            at: SimTime::from_secs(1800),
+            change: MetadataChange::RemoveProtocol(KAD_PROTOCOL.to_string()),
+        }]);
+        let output = run(vec![p], ConnLimits::new(100, 200), DhtRole::Server, 1, 5);
+        let log = &output.logs[0];
+        // The observer must have received at least two identify payloads: one
+        // at connection open (server role) and one push after the change.
+        let identifies: Vec<&IdentifyInfo> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ObservedEvent::IdentifyReceived { info, .. } => Some(info),
+                _ => None,
+            })
+            .collect();
+        assert!(identifies.len() >= 2, "expected identify push after role change");
+        assert!(identifies.first().unwrap().is_dht_server());
+        assert!(!identifies.last().unwrap().is_dht_server());
+        // Ground truth records the role change.
+        assert!(output
+            .ground_truth
+            .events
+            .iter()
+            .any(|e| matches!(e, GroundTruthEvent::RoleChanged { dht_server: false, .. })));
+    }
+
+    #[test]
+    fn gossip_discovery_produces_connectionless_peerstore_entries() {
+        // DHT-Client peers that never dial anyone: the only way the observer
+        // can learn about them is through routing gossip.
+        let peers: Vec<_> = (0..50)
+            .map(|i| {
+                RemotePeerSpec::new(
+                    PeerId::derived(i),
+                    Multiaddr::default_swarm(IpAddress::V4(i as u32 + 1)),
+                    IdentifyInfo::new(
+                        AgentVersion::parse("go-ipfs/0.11.0/"),
+                        ProtocolSet::go_ipfs_dht_client(),
+                        Vec::new(),
+                    ),
+                )
+                .with_behavior(DialBehavior {
+                    dial_server_prob: 0.0,
+                    dial_client_prob: 0.0,
+                    ..DialBehavior::default_peer()
+                })
+                .with_gossip_visibility(1.0)
+            })
+            .collect();
+        let output = run(peers, ConnLimits::new(100, 200), DhtRole::Server, 1, 6);
+        let log = &output.logs[0];
+        let discovered = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, ObservedEvent::PeerDiscovered { .. }))
+            .count();
+        assert_eq!(discovered, 50);
+        assert!(log.connections().is_empty(), "no peer should have dialed");
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_logs() {
+        let make = || (0..40).map(peer).collect::<Vec<_>>();
+        let a = run(make(), ConnLimits::new(10, 20), DhtRole::Server, 1, 42);
+        let b = run(make(), ConnLimits::new(10, 20), DhtRole::Server, 1, 42);
+        assert_eq!(a.logs[0].events, b.logs[0].events);
+        assert_eq!(a.ground_truth, b.ground_truth);
+
+        let c = run(make(), ConnLimits::new(10, 20), DhtRole::Server, 1, 43);
+        assert_ne!(a.logs[0].events, c.logs[0].events, "different seeds should differ");
+    }
+
+    #[test]
+    fn events_are_chronological_and_within_run_bounds() {
+        let peers: Vec<_> = (0..60).map(peer).collect();
+        let output = run(peers, ConnLimits::new(10, 30), DhtRole::Server, 2, 7);
+        let log = &output.logs[0];
+        let mut prev = SimTime::ZERO;
+        for event in &log.events {
+            assert!(event.at() >= prev);
+            assert!(event.at() <= log.ended_at);
+            prev = event.at();
+        }
+    }
+
+    #[test]
+    fn outbound_connections_exist_but_are_a_minority() {
+        let peers: Vec<_> = (0..200).map(peer).collect();
+        let output = run(peers, ConnLimits::new(500, 900), DhtRole::Server, 2, 8);
+        let conns = output.logs[0].connections();
+        let outbound = conns.iter().filter(|c| c.direction == Direction::Outbound).count();
+        let inbound = conns.iter().filter(|c| c.direction == Direction::Inbound).count();
+        assert!(outbound > 0, "observer should dial some peers");
+        assert!(
+            inbound > outbound,
+            "passive nodes receive vastly more inbound than outbound connections"
+        );
+    }
+
+    #[test]
+    fn multiple_observers_get_independent_logs() {
+        let peers: Vec<_> = (0..80).map(peer).collect();
+        let mut config = NetworkConfig::single_observer(
+            11,
+            SimDuration::from_hours(1),
+            ObserverSpec::new("go-ipfs", PeerId::derived(2_000_000), DhtRole::Server, ConnLimits::new(50, 100)),
+        );
+        config.observers.push(ObserverSpec::new(
+            "hydra-h0",
+            PeerId::derived(2_000_001),
+            DhtRole::Server,
+            ConnLimits::GO_IPFS_DEFAULT,
+        ));
+        let output = Network::new(config, peers).run();
+        assert_eq!(output.logs.len(), 2);
+        assert!(output.log("go-ipfs").is_some());
+        assert!(output.log("hydra-h0").is_some());
+        assert!(output.log("nope").is_none());
+        assert!(!output.logs[0].is_empty());
+        assert!(!output.logs[1].is_empty());
+    }
+}

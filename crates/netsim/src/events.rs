@@ -1,0 +1,368 @@
+//! Observation logs and ground truth.
+//!
+//! The simulator produces two kinds of output:
+//!
+//! * An [`ObserverLog`] per measurement node — the chronological sequence of
+//!   everything that node could have recorded: connections opening and
+//!   closing, identify payloads, peers discovered through routing traffic.
+//!   The `measurement` crate turns these logs into the data sets the paper's
+//!   clients export.
+//! * A [`GroundTruth`] log of what actually happened in the simulated
+//!   network (sessions, role changes), which the active-crawler baseline
+//!   crawls and which validation tests compare the passive view against.
+
+use p2pmodel::{
+    CloseReason, ConnectionId, ConnectionInfo, Direction, IdentifyInfo, Multiaddr, PeerId,
+};
+use serde::{Deserialize, Serialize};
+use simclock::{SimDuration, SimTime};
+
+/// One event observed by a measurement node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObservedEvent {
+    /// A connection to `peer` was opened.
+    ConnectionOpened {
+        /// When the connection was opened.
+        at: SimTime,
+        /// Connection identifier.
+        conn: ConnectionId,
+        /// The remote peer.
+        peer: PeerId,
+        /// Direction relative to the observer.
+        direction: Direction,
+        /// The remote multiaddress.
+        remote_addr: Multiaddr,
+    },
+    /// A connection was closed.
+    ConnectionClosed {
+        /// When the connection was closed.
+        at: SimTime,
+        /// Connection identifier.
+        conn: ConnectionId,
+        /// The remote peer.
+        peer: PeerId,
+        /// Ground-truth close reason (a real measurement node can only infer
+        /// this; analyses that must stay faithful to the paper ignore it).
+        reason: CloseReason,
+    },
+    /// An identify payload was received from `peer` (on connection open or as
+    /// an identify push after a metadata change).
+    IdentifyReceived {
+        /// When the payload was received.
+        at: SimTime,
+        /// The remote peer.
+        peer: PeerId,
+        /// The payload.
+        info: IdentifyInfo,
+    },
+    /// The observer learned about `peer` from DHT routing traffic without a
+    /// direct connection (a Peerstore entry with no connection record).
+    PeerDiscovered {
+        /// When the peer was learned about.
+        at: SimTime,
+        /// The discovered peer.
+        peer: PeerId,
+        /// The address learned for the peer.
+        addr: Multiaddr,
+    },
+}
+
+impl ObservedEvent {
+    /// The timestamp of the event.
+    pub fn at(&self) -> SimTime {
+        match self {
+            ObservedEvent::ConnectionOpened { at, .. }
+            | ObservedEvent::ConnectionClosed { at, .. }
+            | ObservedEvent::IdentifyReceived { at, .. }
+            | ObservedEvent::PeerDiscovered { at, .. } => *at,
+        }
+    }
+
+    /// The peer the event concerns.
+    pub fn peer(&self) -> PeerId {
+        match self {
+            ObservedEvent::ConnectionOpened { peer, .. }
+            | ObservedEvent::ConnectionClosed { peer, .. }
+            | ObservedEvent::IdentifyReceived { peer, .. }
+            | ObservedEvent::PeerDiscovered { peer, .. } => *peer,
+        }
+    }
+}
+
+/// The complete observation log of one measurement node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserverLog {
+    /// The observer's name (from its [`crate::ObserverSpec`]).
+    pub observer: String,
+    /// The observer's peer ID.
+    pub peer_id: PeerId,
+    /// Whether the observer ran as a DHT-Server.
+    pub dht_server: bool,
+    /// When the observation started.
+    pub started_at: SimTime,
+    /// When the observation ended.
+    pub ended_at: SimTime,
+    /// Chronological observed events.
+    pub events: Vec<ObservedEvent>,
+}
+
+impl ObserverLog {
+    /// Creates an empty log.
+    pub fn new(observer: impl Into<String>, peer_id: PeerId, dht_server: bool, started_at: SimTime) -> Self {
+        ObserverLog {
+            observer: observer.into(),
+            peer_id,
+            dht_server,
+            started_at,
+            ended_at: started_at,
+            events: Vec::new(),
+        }
+    }
+
+    /// The duration covered by the log.
+    pub fn duration(&self) -> SimDuration {
+        self.ended_at - self.started_at
+    }
+
+    /// Number of events in the log.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over connection-opened events as [`ConnectionInfo`] records
+    /// paired with their close (if observed). Convenient for analyses that
+    /// want per-connection rows.
+    pub fn connections(&self) -> Vec<ConnectionInfo> {
+        let mut open: std::collections::HashMap<ConnectionId, ConnectionInfo> =
+            std::collections::HashMap::new();
+        let mut all: Vec<ConnectionId> = Vec::new();
+        for event in &self.events {
+            match event {
+                ObservedEvent::ConnectionOpened {
+                    at,
+                    conn,
+                    peer,
+                    direction,
+                    remote_addr,
+                } => {
+                    open.insert(
+                        *conn,
+                        ConnectionInfo::open(*conn, *peer, *direction, *remote_addr, *at),
+                    );
+                    all.push(*conn);
+                }
+                ObservedEvent::ConnectionClosed { at, conn, reason, .. } => {
+                    if let Some(info) = open.get_mut(conn) {
+                        info.close(*at, *reason);
+                    }
+                }
+                _ => {}
+            }
+        }
+        all.into_iter().filter_map(|id| open.remove(&id)).collect()
+    }
+
+    /// Number of distinct peers appearing anywhere in the log.
+    pub fn distinct_peers(&self) -> usize {
+        let mut peers: Vec<PeerId> = self.events.iter().map(ObservedEvent::peer).collect();
+        peers.sort();
+        peers.dedup();
+        peers.len()
+    }
+}
+
+/// A ground-truth event: something that actually happened in the simulated
+/// network, independent of whether any observer saw it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GroundTruthEvent {
+    /// A peer came online.
+    PeerOnline {
+        /// Timestamp.
+        at: SimTime,
+        /// The peer.
+        peer: PeerId,
+    },
+    /// A peer went offline.
+    PeerOffline {
+        /// Timestamp.
+        at: SimTime,
+        /// The peer.
+        peer: PeerId,
+    },
+    /// A peer's DHT role changed.
+    RoleChanged {
+        /// Timestamp.
+        at: SimTime,
+        /// The peer.
+        peer: PeerId,
+        /// Whether the peer is a DHT-Server after the change.
+        dht_server: bool,
+    },
+}
+
+impl GroundTruthEvent {
+    /// The timestamp of the event.
+    pub fn at(&self) -> SimTime {
+        match self {
+            GroundTruthEvent::PeerOnline { at, .. }
+            | GroundTruthEvent::PeerOffline { at, .. }
+            | GroundTruthEvent::RoleChanged { at, .. } => *at,
+        }
+    }
+}
+
+/// What actually happened in the simulated network.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// All peers that exist in the population, with their initial DHT role.
+    pub peers: Vec<(PeerId, bool)>,
+    /// Chronological ground-truth events.
+    pub events: Vec<GroundTruthEvent>,
+}
+
+impl GroundTruth {
+    /// The set of peers online at time `at`, together with their DHT-Server
+    /// role at that time. This is what a perfect crawler could enumerate.
+    pub fn online_at(&self, at: SimTime) -> Vec<(PeerId, bool)> {
+        use std::collections::HashMap;
+        let mut role: HashMap<PeerId, bool> = self.peers.iter().copied().collect();
+        let mut online: HashMap<PeerId, bool> = HashMap::new();
+        for event in &self.events {
+            if event.at() > at {
+                break;
+            }
+            match event {
+                GroundTruthEvent::PeerOnline { peer, .. } => {
+                    online.insert(*peer, true);
+                }
+                GroundTruthEvent::PeerOffline { peer, .. } => {
+                    online.insert(*peer, false);
+                }
+                GroundTruthEvent::RoleChanged { peer, dht_server, .. } => {
+                    role.insert(*peer, *dht_server);
+                }
+            }
+        }
+        online
+            .into_iter()
+            .filter(|(_, is_online)| *is_online)
+            .map(|(peer, _)| (peer, role.get(&peer).copied().unwrap_or(false)))
+            .collect()
+    }
+
+    /// Total number of distinct peers in the population.
+    pub fn population_size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Number of peers whose initial role is DHT-Server.
+    pub fn initial_server_count(&self) -> usize {
+        self.peers.iter().filter(|(_, server)| *server).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmodel::{IpAddress, Transport};
+
+    fn addr() -> Multiaddr {
+        Multiaddr::new(IpAddress::V4(1), Transport::Tcp, 4001)
+    }
+
+    fn opened(at: u64, conn: u64, peer: u64) -> ObservedEvent {
+        ObservedEvent::ConnectionOpened {
+            at: SimTime::from_secs(at),
+            conn: ConnectionId(conn),
+            peer: PeerId::derived(peer),
+            direction: Direction::Inbound,
+            remote_addr: addr(),
+        }
+    }
+
+    fn closed(at: u64, conn: u64, peer: u64) -> ObservedEvent {
+        ObservedEvent::ConnectionClosed {
+            at: SimTime::from_secs(at),
+            conn: ConnectionId(conn),
+            peer: PeerId::derived(peer),
+            reason: CloseReason::TrimmedRemote,
+        }
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = opened(5, 1, 2);
+        assert_eq!(e.at(), SimTime::from_secs(5));
+        assert_eq!(e.peer(), PeerId::derived(2));
+        let d = ObservedEvent::PeerDiscovered {
+            at: SimTime::from_secs(9),
+            peer: PeerId::derived(3),
+            addr: addr(),
+        };
+        assert_eq!(d.at(), SimTime::from_secs(9));
+        assert_eq!(d.peer(), PeerId::derived(3));
+    }
+
+    #[test]
+    fn log_reconstructs_connections() {
+        let mut log = ObserverLog::new("go-ipfs", PeerId::derived(0), true, SimTime::ZERO);
+        log.events.push(opened(10, 1, 100));
+        log.events.push(opened(20, 2, 200));
+        log.events.push(closed(70, 1, 100));
+        log.ended_at = SimTime::from_secs(100);
+
+        let conns = log.connections();
+        assert_eq!(conns.len(), 2);
+        let first = conns.iter().find(|c| c.id == ConnectionId(1)).unwrap();
+        assert!(!first.is_open());
+        assert_eq!(first.duration_at(log.ended_at), SimDuration::from_secs(60));
+        let second = conns.iter().find(|c| c.id == ConnectionId(2)).unwrap();
+        assert!(second.is_open());
+        assert_eq!(second.duration_at(log.ended_at), SimDuration::from_secs(80));
+
+        assert_eq!(log.distinct_peers(), 2);
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.duration(), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn close_without_open_is_ignored() {
+        let mut log = ObserverLog::new("x", PeerId::derived(0), false, SimTime::ZERO);
+        log.events.push(closed(5, 9, 1));
+        assert!(log.connections().is_empty());
+    }
+
+    #[test]
+    fn ground_truth_online_at_respects_sessions_and_roles() {
+        let p1 = PeerId::derived(1);
+        let p2 = PeerId::derived(2);
+        let gt = GroundTruth {
+            peers: vec![(p1, true), (p2, false)],
+            events: vec![
+                GroundTruthEvent::PeerOnline { at: SimTime::from_secs(0), peer: p1 },
+                GroundTruthEvent::PeerOnline { at: SimTime::from_secs(10), peer: p2 },
+                GroundTruthEvent::RoleChanged { at: SimTime::from_secs(20), peer: p2, dht_server: true },
+                GroundTruthEvent::PeerOffline { at: SimTime::from_secs(30), peer: p1 },
+            ],
+        };
+        assert_eq!(gt.population_size(), 2);
+        assert_eq!(gt.initial_server_count(), 1);
+
+        let at5 = gt.online_at(SimTime::from_secs(5));
+        assert_eq!(at5, vec![(p1, true)]);
+
+        let mut at25 = gt.online_at(SimTime::from_secs(25));
+        at25.sort();
+        assert_eq!(at25.len(), 2);
+        assert!(at25.contains(&(p2, true)), "role change must be visible");
+
+        let at35 = gt.online_at(SimTime::from_secs(35));
+        assert_eq!(at35, vec![(p2, true)]);
+    }
+}

@@ -1,0 +1,423 @@
+//! The libp2p connection manager (LowWater / HighWater trimming).
+//!
+//! go-ipfs keeps the number of simultaneous connections between two
+//! thresholds: once the count exceeds **HighWater**, the least valuable
+//! connections are trimmed until only **LowWater** remain; connections
+//! younger than a **grace period** and explicitly *protected* connections are
+//! spared. The paper varies exactly these two thresholds across its
+//! measurement periods (Table I) and attributes the observed connection churn
+//! to this mechanism — it is the single most important piece of machinery for
+//! reproducing Table II and Fig. 5.
+//!
+//! The model follows go-libp2p's `BasicConnMgr` semantics: trimming is
+//! triggered when the connection count *exceeds* HighWater, candidates inside
+//! the grace period or protected are skipped, and the remaining candidates
+//! are closed in ascending value order (ties broken by age, oldest first)
+//! until the count reaches LowWater.
+
+use crate::connection::ConnectionId;
+use crate::peer_id::PeerId;
+use serde::{Deserialize, Serialize};
+use simclock::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Connection-manager thresholds (the `Swarm.ConnMgr` section of the go-ipfs
+/// configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnLimits {
+    /// Trim down to this many connections.
+    pub low_water: usize,
+    /// Start trimming once this many connections is exceeded.
+    pub high_water: usize,
+    /// Connections younger than this are never trimmed.
+    pub grace_period: SimDuration,
+}
+
+impl ConnLimits {
+    /// The go-ipfs defaults (LowWater 600, HighWater 900, grace period 20 s),
+    /// which the paper identifies as the cause of the high connection churn.
+    pub const GO_IPFS_DEFAULT: ConnLimits = ConnLimits {
+        low_water: 600,
+        high_water: 900,
+        grace_period: SimDuration::from_secs(20),
+    };
+
+    /// Creates limits with the given water marks and the default grace
+    /// period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low_water > high_water`.
+    pub fn new(low_water: usize, high_water: usize) -> Self {
+        assert!(
+            low_water <= high_water,
+            "LowWater must not exceed HighWater"
+        );
+        ConnLimits {
+            low_water,
+            high_water,
+            grace_period: SimDuration::from_secs(20),
+        }
+    }
+
+    /// Returns a copy with a different grace period.
+    pub fn with_grace_period(mut self, grace_period: SimDuration) -> Self {
+        self.grace_period = grace_period;
+        self
+    }
+}
+
+impl Default for ConnLimits {
+    fn default() -> Self {
+        ConnLimits::GO_IPFS_DEFAULT
+    }
+}
+
+/// A tracked connection inside the manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Tracked {
+    peer: PeerId,
+    opened_at: SimTime,
+    value: i32,
+    protected: bool,
+}
+
+/// The outcome of a trim pass: the connections that should be closed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrimDecision {
+    /// Connections to close, least valuable first.
+    pub to_close: Vec<ConnectionId>,
+}
+
+impl TrimDecision {
+    /// Whether the trim pass decided to close anything.
+    pub fn is_empty(&self) -> bool {
+        self.to_close.is_empty()
+    }
+
+    /// Number of connections to close.
+    pub fn len(&self) -> usize {
+        self.to_close.len()
+    }
+}
+
+/// A model of go-libp2p's basic connection manager.
+///
+/// # Example
+///
+/// ```
+/// use p2pmodel::{ConnLimits, ConnectionId, ConnectionManager, PeerId};
+/// use simclock::{SimDuration, SimTime};
+///
+/// let limits = ConnLimits::new(2, 3).with_grace_period(SimDuration::ZERO);
+/// let mut mgr = ConnectionManager::new(limits);
+/// for i in 0..4 {
+///     mgr.track(ConnectionId(i), PeerId::derived(i), SimTime::from_secs(i));
+/// }
+/// let trim = mgr.maybe_trim(SimTime::from_secs(100));
+/// // 4 connections > HighWater 3, trim down to LowWater 2.
+/// assert_eq!(trim.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectionManager {
+    limits: ConnLimits,
+    connections: HashMap<ConnectionId, Tracked>,
+    trims_performed: u64,
+    connections_trimmed: u64,
+}
+
+impl ConnectionManager {
+    /// Creates a connection manager with the given limits.
+    pub fn new(limits: ConnLimits) -> Self {
+        ConnectionManager {
+            limits,
+            connections: HashMap::new(),
+            trims_performed: 0,
+            connections_trimmed: 0,
+        }
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> ConnLimits {
+        self.limits
+    }
+
+    /// Number of currently tracked (open) connections.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Whether a new connection would push the count past HighWater.
+    pub fn is_above_high_water(&self) -> bool {
+        self.connections.len() > self.limits.high_water
+    }
+
+    /// Starts tracking a newly opened connection with neutral value.
+    pub fn track(&mut self, id: ConnectionId, peer: PeerId, opened_at: SimTime) {
+        self.connections.insert(
+            id,
+            Tracked {
+                peer,
+                opened_at,
+                value: 0,
+                protected: false,
+            },
+        );
+    }
+
+    /// Stops tracking a connection (it was closed for reasons outside the
+    /// manager, e.g. the remote peer left).
+    pub fn untrack(&mut self, id: ConnectionId) {
+        self.connections.remove(&id);
+    }
+
+    /// Whether the manager currently tracks the connection.
+    pub fn is_tracked(&self, id: ConnectionId) -> bool {
+        self.connections.contains_key(&id)
+    }
+
+    /// Adjusts the value of a connection. DHT-relevant peers (close in XOR
+    /// space, or actively useful) get positive tags; one-shot query peers get
+    /// negative ones. Higher values survive trims longer.
+    pub fn tag(&mut self, id: ConnectionId, delta: i32) {
+        if let Some(tracked) = self.connections.get_mut(&id) {
+            tracked.value += delta;
+        }
+    }
+
+    /// Protects a connection from ever being trimmed (go-ipfs protects e.g.
+    /// bootstrap and actively transferring connections).
+    pub fn protect(&mut self, id: ConnectionId) {
+        if let Some(tracked) = self.connections.get_mut(&id) {
+            tracked.protected = true;
+        }
+    }
+
+    /// Removes trim protection from a connection.
+    pub fn unprotect(&mut self, id: ConnectionId) {
+        if let Some(tracked) = self.connections.get_mut(&id) {
+            tracked.protected = false;
+        }
+    }
+
+    /// Number of trim passes that actually closed connections.
+    pub fn trims_performed(&self) -> u64 {
+        self.trims_performed
+    }
+
+    /// Total number of connections closed by trimming.
+    pub fn connections_trimmed(&self) -> u64 {
+        self.connections_trimmed
+    }
+
+    /// Runs a trim pass if the connection count exceeds HighWater.
+    ///
+    /// Returns the set of connections to close (already removed from the
+    /// manager's tracking); the caller is responsible for actually closing
+    /// them and recording the close events.
+    pub fn maybe_trim(&mut self, now: SimTime) -> TrimDecision {
+        if self.connections.len() <= self.limits.high_water {
+            return TrimDecision::default();
+        }
+        let target = self.limits.low_water;
+        let excess = self.connections.len().saturating_sub(target);
+
+        // Candidates: not protected, outside the grace period.
+        let mut candidates: Vec<(ConnectionId, i32, SimTime)> = self
+            .connections
+            .iter()
+            .filter(|(_, t)| !t.protected && now.saturating_since(t.opened_at) >= self.limits.grace_period)
+            .map(|(id, t)| (*id, t.value, t.opened_at))
+            .collect();
+        // Least valuable first; among equal values, oldest first. Ties on
+        // both are broken by the connection id so the decision is
+        // deterministic across runs.
+        candidates.sort_by(|a, b| a.1.cmp(&b.1).then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
+        candidates.truncate(excess);
+
+        let to_close: Vec<ConnectionId> = candidates.into_iter().map(|(id, _, _)| id).collect();
+        for id in &to_close {
+            self.connections.remove(id);
+        }
+        if !to_close.is_empty() {
+            self.trims_performed += 1;
+            self.connections_trimmed += to_close.len() as u64;
+        }
+        TrimDecision { to_close }
+    }
+
+    /// The peer a tracked connection belongs to.
+    pub fn peer_of(&self, id: ConnectionId) -> Option<PeerId> {
+        self.connections.get(&id).map(|t| t.peer)
+    }
+
+    /// Iterates over the tracked connection ids (in arbitrary order).
+    pub fn tracked_ids(&self) -> impl Iterator<Item = ConnectionId> + '_ {
+        self.connections.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn manager(low: usize, high: usize, grace_secs: u64) -> ConnectionManager {
+        ConnectionManager::new(
+            ConnLimits::new(low, high).with_grace_period(SimDuration::from_secs(grace_secs)),
+        )
+    }
+
+    fn fill(mgr: &mut ConnectionManager, n: u64, opened: SimTime) {
+        for i in 0..n {
+            mgr.track(ConnectionId(i), PeerId::derived(i), opened);
+        }
+    }
+
+    #[test]
+    fn default_limits_match_go_ipfs() {
+        let limits = ConnLimits::default();
+        assert_eq!(limits.low_water, 600);
+        assert_eq!(limits.high_water, 900);
+        assert_eq!(limits.grace_period, SimDuration::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "LowWater must not exceed HighWater")]
+    fn limits_reject_inverted_watermarks() {
+        let _ = ConnLimits::new(10, 5);
+    }
+
+    #[test]
+    fn no_trim_at_or_below_high_water() {
+        let mut mgr = manager(2, 5, 0);
+        fill(&mut mgr, 5, SimTime::ZERO);
+        assert!(mgr.maybe_trim(SimTime::from_secs(100)).is_empty());
+        assert_eq!(mgr.connection_count(), 5);
+        assert_eq!(mgr.trims_performed(), 0);
+    }
+
+    #[test]
+    fn trims_down_to_low_water() {
+        let mut mgr = manager(3, 5, 0);
+        fill(&mut mgr, 8, SimTime::ZERO);
+        let decision = mgr.maybe_trim(SimTime::from_secs(100));
+        assert_eq!(decision.len(), 5);
+        assert_eq!(mgr.connection_count(), 3);
+        assert_eq!(mgr.trims_performed(), 1);
+        assert_eq!(mgr.connections_trimmed(), 5);
+    }
+
+    #[test]
+    fn grace_period_spares_young_connections() {
+        let mut mgr = manager(1, 3, 60);
+        // Old connections.
+        for i in 0..3 {
+            mgr.track(ConnectionId(i), PeerId::derived(i), SimTime::ZERO);
+        }
+        // Young connections within the grace period.
+        for i in 3..6 {
+            mgr.track(ConnectionId(i), PeerId::derived(i), SimTime::from_secs(580));
+        }
+        let decision = mgr.maybe_trim(SimTime::from_secs(600));
+        // Only the 3 old connections are candidates even though reaching
+        // LowWater would require closing 5.
+        assert_eq!(decision.len(), 3);
+        for id in &decision.to_close {
+            assert!(id.0 < 3, "young connection {id} must not be trimmed");
+        }
+        assert_eq!(mgr.connection_count(), 3);
+    }
+
+    #[test]
+    fn protected_connections_are_never_trimmed() {
+        let mut mgr = manager(1, 2, 0);
+        fill(&mut mgr, 5, SimTime::ZERO);
+        mgr.protect(ConnectionId(0));
+        mgr.protect(ConnectionId(1));
+        let decision = mgr.maybe_trim(SimTime::from_secs(100));
+        assert!(!decision.to_close.contains(&ConnectionId(0)));
+        assert!(!decision.to_close.contains(&ConnectionId(1)));
+
+        // Unprotecting makes the connection eligible again.
+        let mut mgr = manager(0, 1, 0);
+        fill(&mut mgr, 2, SimTime::ZERO);
+        mgr.protect(ConnectionId(0));
+        mgr.unprotect(ConnectionId(0));
+        let decision = mgr.maybe_trim(SimTime::from_secs(100));
+        assert_eq!(decision.len(), 2);
+    }
+
+    #[test]
+    fn lower_valued_connections_are_trimmed_first() {
+        let mut mgr = manager(2, 3, 0);
+        fill(&mut mgr, 4, SimTime::ZERO);
+        mgr.tag(ConnectionId(0), 10);
+        mgr.tag(ConnectionId(1), 5);
+        mgr.tag(ConnectionId(2), -5);
+        // Connection 3 keeps value 0.
+        let decision = mgr.maybe_trim(SimTime::from_secs(100));
+        assert_eq!(decision.to_close, vec![ConnectionId(2), ConnectionId(3)]);
+    }
+
+    #[test]
+    fn untrack_and_queries() {
+        let mut mgr = manager(1, 10, 0);
+        mgr.track(ConnectionId(1), PeerId::derived(1), SimTime::ZERO);
+        assert!(mgr.is_tracked(ConnectionId(1)));
+        assert_eq!(mgr.peer_of(ConnectionId(1)), Some(PeerId::derived(1)));
+        assert_eq!(mgr.tracked_ids().count(), 1);
+        mgr.untrack(ConnectionId(1));
+        assert!(!mgr.is_tracked(ConnectionId(1)));
+        assert_eq!(mgr.peer_of(ConnectionId(1)), None);
+        // Tagging or protecting an unknown connection is a no-op.
+        mgr.tag(ConnectionId(1), 5);
+        mgr.protect(ConnectionId(1));
+        assert!(!mgr.is_tracked(ConnectionId(1)));
+    }
+
+    #[test]
+    fn trim_is_deterministic() {
+        let build = || {
+            let mut mgr = manager(2, 4, 0);
+            fill(&mut mgr, 10, SimTime::ZERO);
+            mgr.maybe_trim(SimTime::from_secs(50))
+        };
+        assert_eq!(build(), build());
+    }
+
+    proptest! {
+        #[test]
+        fn trim_never_goes_below_low_water_or_above_high_water(
+            n in 0u64..200,
+            low in 0usize..50,
+            extra in 0usize..50,
+        ) {
+            let high = low + extra;
+            let mut mgr = manager(low, high, 0);
+            fill(&mut mgr, n, SimTime::ZERO);
+            let before = mgr.connection_count();
+            let decision = mgr.maybe_trim(SimTime::from_secs(1000));
+            let after = mgr.connection_count();
+            prop_assert_eq!(before - decision.len(), after);
+            if before > high {
+                // All candidates were eligible, so the manager reaches
+                // exactly LowWater.
+                prop_assert_eq!(after, low);
+            } else {
+                prop_assert!(decision.is_empty());
+                prop_assert_eq!(after, before);
+            }
+        }
+
+        #[test]
+        fn trimmed_connections_are_no_longer_tracked(n in 1u64..100) {
+            let mut mgr = manager(0, 0, 0);
+            fill(&mut mgr, n, SimTime::ZERO);
+            let decision = mgr.maybe_trim(SimTime::from_secs(10));
+            for id in &decision.to_close {
+                prop_assert!(!mgr.is_tracked(*id));
+            }
+        }
+    }
+}

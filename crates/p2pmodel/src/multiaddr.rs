@@ -1,0 +1,334 @@
+//! Multiaddresses and IP address grouping.
+//!
+//! libp2p peers announce their reachable endpoints as multiaddresses such as
+//! `/ip4/1.2.3.4/tcp/4001` or `/ip4/1.2.3.4/udp/4001/quic`. The paper uses
+//! the *IP part* of the multiaddress a connection was established from to
+//! group peer IDs into probable participants (Section V-A): PIDs connecting
+//! from the same IP are likely the same operator (hydra heads, NATed users,
+//! rotating PIDs), which is one of the two network-size estimators.
+
+use serde::{Deserialize, Serialize};
+use simclock::SimRng;
+use std::fmt;
+use std::str::FromStr;
+
+/// A simplified IP address: the 32-bit IPv4 or 128-bit IPv6 value.
+///
+/// The simulation only needs equality/grouping semantics and a printable
+/// form, not real routing, so the address is stored as a plain integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IpAddress {
+    /// An IPv4 address.
+    V4(u32),
+    /// An IPv6 address (the measurement VM in the paper was v4-only, but
+    /// remote peers do announce v6 addresses).
+    V6(u128),
+}
+
+impl IpAddress {
+    /// Generates a random public-looking IPv4 address.
+    pub fn random_v4(rng: &mut SimRng) -> Self {
+        // Avoid the 0.x, 10.x, 127.x and 192.168.x ranges so addresses look
+        // like public internet hosts in reports.
+        loop {
+            let raw = rng.raw_u64() as u32;
+            let first = (raw >> 24) as u8;
+            if first == 0 || first == 10 || first == 127 || first == 192 || first >= 224 {
+                continue;
+            }
+            return IpAddress::V4(raw);
+        }
+    }
+
+    /// Generates a random IPv6 address.
+    pub fn random_v6(rng: &mut SimRng) -> Self {
+        let hi = rng.raw_u64() as u128;
+        let lo = rng.raw_u64() as u128;
+        IpAddress::V6((0x2001_0db8u128 << 96) | ((hi << 64) | lo) >> 32)
+    }
+
+    /// Whether this is an IPv4 address.
+    pub fn is_v4(&self) -> bool {
+        matches!(self, IpAddress::V4(_))
+    }
+
+    /// Whether this is an IPv6 address.
+    pub fn is_v6(&self) -> bool {
+        matches!(self, IpAddress::V6(_))
+    }
+}
+
+impl fmt::Display for IpAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpAddress::V4(v) => {
+                let b = v.to_be_bytes();
+                write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+            }
+            IpAddress::V6(v) => {
+                let b = v.to_be_bytes();
+                let segments: Vec<String> = b
+                    .chunks(2)
+                    .map(|c| format!("{:x}", u16::from_be_bytes([c[0], c[1]])))
+                    .collect();
+                write!(f, "{}", segments.join(":"))
+            }
+        }
+    }
+}
+
+/// The transport part of a multiaddress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    /// Plain TCP.
+    Tcp,
+    /// QUIC over UDP.
+    Quic,
+    /// WebSocket over TCP.
+    Ws,
+    /// A relayed (circuit) connection; the observed address is the relay's.
+    Circuit,
+}
+
+impl Transport {
+    /// All transport variants, for distribution sampling.
+    pub const ALL: [Transport; 4] = [Transport::Tcp, Transport::Quic, Transport::Ws, Transport::Circuit];
+}
+
+impl fmt::Display for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Transport::Tcp => "tcp",
+            Transport::Quic => "quic",
+            Transport::Ws => "ws",
+            Transport::Circuit => "p2p-circuit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A simplified multiaddress: IP address, transport and port.
+///
+/// # Example
+///
+/// ```
+/// use p2pmodel::{IpAddress, Multiaddr, Transport};
+///
+/// let addr = Multiaddr::new(IpAddress::V4(0x01020304), Transport::Tcp, 4001);
+/// assert_eq!(addr.to_string(), "/ip4/1.2.3.4/tcp/4001");
+/// assert_eq!("/ip4/1.2.3.4/tcp/4001".parse::<Multiaddr>().unwrap(), addr);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Multiaddr {
+    ip: IpAddress,
+    transport: Transport,
+    port: u16,
+}
+
+impl Multiaddr {
+    /// Creates a multiaddress from its parts.
+    pub const fn new(ip: IpAddress, transport: Transport, port: u16) -> Self {
+        Multiaddr { ip, transport, port }
+    }
+
+    /// The default go-ipfs swarm address for a host (`/ip4/<ip>/tcp/4001`).
+    pub const fn default_swarm(ip: IpAddress) -> Self {
+        Multiaddr::new(ip, Transport::Tcp, 4001)
+    }
+
+    /// The IP part, which Section V-A groups peers by.
+    pub const fn ip(&self) -> IpAddress {
+        self.ip
+    }
+
+    /// The transport part.
+    pub const fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// The port part.
+    pub const fn port(&self) -> u16 {
+        self.port
+    }
+}
+
+impl fmt::Display for Multiaddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let family = match self.ip {
+            IpAddress::V4(_) => "ip4",
+            IpAddress::V6(_) => "ip6",
+        };
+        match self.transport {
+            Transport::Tcp => write!(f, "/{family}/{}/tcp/{}", self.ip, self.port),
+            Transport::Quic => write!(f, "/{family}/{}/udp/{}/quic", self.ip, self.port),
+            Transport::Ws => write!(f, "/{family}/{}/tcp/{}/ws", self.ip, self.port),
+            Transport::Circuit => write!(f, "/{family}/{}/tcp/{}/p2p-circuit", self.ip, self.port),
+        }
+    }
+}
+
+/// Error returned when parsing a [`Multiaddr`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMultiaddrError {
+    message: String,
+}
+
+impl ParseMultiaddrError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseMultiaddrError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseMultiaddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid multiaddress: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseMultiaddrError {}
+
+impl FromStr for Multiaddr {
+    type Err = ParseMultiaddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('/').filter(|p| !p.is_empty()).collect();
+        if parts.len() < 4 {
+            return Err(ParseMultiaddrError::new("expected at least 4 components"));
+        }
+        let ip = match parts[0] {
+            "ip4" => {
+                let octets: Vec<u8> = parts[1]
+                    .split('.')
+                    .map(|o| o.parse::<u8>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ParseMultiaddrError::new("invalid IPv4 octet"))?;
+                if octets.len() != 4 {
+                    return Err(ParseMultiaddrError::new("IPv4 needs 4 octets"));
+                }
+                IpAddress::V4(u32::from_be_bytes([octets[0], octets[1], octets[2], octets[3]]))
+            }
+            "ip6" => {
+                let segments: Vec<u16> = parts[1]
+                    .split(':')
+                    .map(|seg| u16::from_str_radix(seg, 16))
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ParseMultiaddrError::new("invalid IPv6 segment"))?;
+                if segments.len() != 8 {
+                    return Err(ParseMultiaddrError::new("IPv6 needs 8 segments (uncompressed)"));
+                }
+                let mut value: u128 = 0;
+                for seg in segments {
+                    value = (value << 16) | seg as u128;
+                }
+                IpAddress::V6(value)
+            }
+            other => return Err(ParseMultiaddrError::new(format!("unknown family {other}"))),
+        };
+        let port: u16 = parts[3]
+            .parse()
+            .map_err(|_| ParseMultiaddrError::new("invalid port"))?;
+        let transport = match (parts[2], parts.get(4).copied()) {
+            ("tcp", Some("ws")) => Transport::Ws,
+            ("tcp", Some("p2p-circuit")) => Transport::Circuit,
+            ("tcp", _) => Transport::Tcp,
+            ("udp", Some("quic")) => Transport::Quic,
+            (proto, _) => {
+                return Err(ParseMultiaddrError::new(format!("unknown transport {proto}")))
+            }
+        };
+        Ok(Multiaddr::new(ip, transport, port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ipv4_display_is_dotted_quad() {
+        assert_eq!(IpAddress::V4(0x7f000001).to_string(), "127.0.0.1");
+        assert_eq!(IpAddress::V4(0x01020304).to_string(), "1.2.3.4");
+    }
+
+    #[test]
+    fn random_v4_avoids_reserved_prefixes() {
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..500 {
+            let ip = IpAddress::random_v4(&mut rng);
+            let IpAddress::V4(v) = ip else { panic!("expected v4") };
+            let first = (v >> 24) as u8;
+            assert!(first != 0 && first != 10 && first != 127 && first != 192 && first < 224);
+        }
+    }
+
+    #[test]
+    fn random_v6_is_v6() {
+        let mut rng = SimRng::seed_from(2);
+        assert!(IpAddress::random_v6(&mut rng).is_v6());
+        assert!(!IpAddress::random_v6(&mut rng).is_v4());
+    }
+
+    #[test]
+    fn multiaddr_display_per_transport() {
+        let ip = IpAddress::V4(0x01020304);
+        assert_eq!(Multiaddr::new(ip, Transport::Tcp, 4001).to_string(), "/ip4/1.2.3.4/tcp/4001");
+        assert_eq!(
+            Multiaddr::new(ip, Transport::Quic, 4001).to_string(),
+            "/ip4/1.2.3.4/udp/4001/quic"
+        );
+        assert_eq!(
+            Multiaddr::new(ip, Transport::Ws, 443).to_string(),
+            "/ip4/1.2.3.4/tcp/443/ws"
+        );
+        assert_eq!(
+            Multiaddr::new(ip, Transport::Circuit, 4001).to_string(),
+            "/ip4/1.2.3.4/tcp/4001/p2p-circuit"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!("/ip4/1.2.3/tcp/4001".parse::<Multiaddr>().is_err());
+        assert!("/ip4/1.2.3.4.5/tcp/4001".parse::<Multiaddr>().is_err());
+        assert!("/ip4/1.2.3.4/tcp".parse::<Multiaddr>().is_err());
+        assert!("/ip4/1.2.3.4/carrier-pigeon/4001".parse::<Multiaddr>().is_err());
+        assert!("/dns4/example.org/tcp/4001".parse::<Multiaddr>().is_err());
+        assert!("".parse::<Multiaddr>().is_err());
+        let err = "/ip4/1.2.3.4/tcp/notaport".parse::<Multiaddr>().unwrap_err();
+        assert!(err.to_string().contains("invalid port"));
+    }
+
+    #[test]
+    fn default_swarm_uses_port_4001() {
+        let addr = Multiaddr::default_swarm(IpAddress::V4(0x01020304));
+        assert_eq!(addr.port(), 4001);
+        assert_eq!(addr.transport(), Transport::Tcp);
+    }
+
+    #[test]
+    fn ipv6_roundtrip() {
+        let mut rng = SimRng::seed_from(3);
+        let addr = Multiaddr::new(IpAddress::random_v6(&mut rng), Transport::Tcp, 4001);
+        let parsed: Multiaddr = addr.to_string().parse().unwrap();
+        assert_eq!(parsed, addr);
+    }
+
+    proptest! {
+        #[test]
+        fn display_parse_roundtrip_v4(raw in any::<u32>(), port in 1u16.., transport_idx in 0usize..4) {
+            let addr = Multiaddr::new(IpAddress::V4(raw), Transport::ALL[transport_idx], port);
+            let parsed: Multiaddr = addr.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, addr);
+        }
+
+        #[test]
+        fn grouping_by_ip_ignores_port_and_transport(raw in any::<u32>(), p1 in 1u16.., p2 in 1u16..) {
+            let a = Multiaddr::new(IpAddress::V4(raw), Transport::Tcp, p1);
+            let b = Multiaddr::new(IpAddress::V4(raw), Transport::Quic, p2);
+            prop_assert_eq!(a.ip(), b.ip());
+        }
+    }
+}

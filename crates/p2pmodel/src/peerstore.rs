@@ -1,0 +1,318 @@
+//! The Peerstore: everything a node remembers about peers it has seen.
+//!
+//! go-ipfs keeps a Peerstore with addresses and identify metadata for every
+//! peer it has ever learned about; the paper's measurement clients dump this
+//! store every 30 s (go-ipfs) or 1 min (hydra). Crucially the store is
+//! *historic*: entries are not removed when a peer disconnects, which is why
+//! passive nodes accumulate 40k–65k PIDs while holding only ~16k simultaneous
+//! connections (Fig. 6 and Section V).
+
+use crate::identify::IdentifyInfo;
+use crate::multiaddr::Multiaddr;
+use crate::peer_id::PeerId;
+use serde::{Deserialize, Serialize};
+use simclock::SimTime;
+use std::collections::BTreeMap;
+
+/// Everything known about one peer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerEntry {
+    /// The peer's identifier.
+    pub peer: PeerId,
+    /// The latest identify payload received from the peer.
+    pub identify: IdentifyInfo,
+    /// Multiaddresses the peer has been observed with (deduplicated, in
+    /// observation order).
+    pub addrs: Vec<Multiaddr>,
+    /// When the peer was first observed.
+    pub first_seen: SimTime,
+    /// When the peer was last observed (connection event or identify update).
+    pub last_seen: SimTime,
+    /// Whether the peer has *ever* announced the Kademlia protocol. The
+    /// crawler comparison in Fig. 2 counts a PID as a DHT-Server if it was
+    /// ever seen in that role.
+    pub ever_dht_server: bool,
+}
+
+impl PeerEntry {
+    fn new(peer: PeerId, at: SimTime) -> Self {
+        PeerEntry {
+            peer,
+            identify: IdentifyInfo::unknown(),
+            addrs: Vec::new(),
+            first_seen: at,
+            last_seen: at,
+            ever_dht_server: false,
+        }
+    }
+
+    /// Whether the peer currently announces the DHT-Server role.
+    pub fn is_dht_server(&self) -> bool {
+        self.identify.is_dht_server()
+    }
+}
+
+/// A historic store of peers, keyed by peer ID.
+///
+/// # Example
+///
+/// ```
+/// use p2pmodel::{IdentifyInfo, PeerId, Peerstore, ProtocolSet, AgentVersion};
+/// use simclock::SimTime;
+///
+/// let mut store = Peerstore::new();
+/// let peer = PeerId::derived(1);
+/// store.observe(peer, SimTime::from_secs(5));
+/// store.update_identify(
+///     peer,
+///     IdentifyInfo::new(
+///         AgentVersion::parse("go-ipfs/0.11.0/"),
+///         ProtocolSet::go_ipfs_dht_server(),
+///         Vec::new(),
+///     ),
+///     SimTime::from_secs(6),
+/// );
+/// assert_eq!(store.len(), 1);
+/// assert_eq!(store.dht_server_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Peerstore {
+    peers: BTreeMap<PeerId, PeerEntry>,
+}
+
+impl Peerstore {
+    /// Creates an empty peerstore.
+    pub fn new() -> Self {
+        Peerstore::default()
+    }
+
+    /// Number of peers ever observed.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Whether the store contains `peer`.
+    pub fn contains(&self, peer: &PeerId) -> bool {
+        self.peers.contains_key(peer)
+    }
+
+    /// Records that `peer` was observed at `at` (any event: connection,
+    /// identify, routing-table entry). Creates the entry if needed.
+    pub fn observe(&mut self, peer: PeerId, at: SimTime) -> &mut PeerEntry {
+        let entry = self
+            .peers
+            .entry(peer)
+            .or_insert_with(|| PeerEntry::new(peer, at));
+        if at > entry.last_seen {
+            entry.last_seen = at;
+        }
+        if at < entry.first_seen {
+            entry.first_seen = at;
+        }
+        entry
+    }
+
+    /// Records an observed multiaddress for `peer`.
+    pub fn add_addr(&mut self, peer: PeerId, addr: Multiaddr, at: SimTime) {
+        let entry = self.observe(peer, at);
+        if !entry.addrs.contains(&addr) {
+            entry.addrs.push(addr);
+        }
+    }
+
+    /// Replaces the identify payload of `peer`, returning the previous
+    /// payload (callers diff the two to emit metadata-change records).
+    pub fn update_identify(
+        &mut self,
+        peer: PeerId,
+        identify: IdentifyInfo,
+        at: SimTime,
+    ) -> IdentifyInfo {
+        let entry = self.observe(peer, at);
+        if identify.is_dht_server() {
+            entry.ever_dht_server = true;
+        }
+        std::mem::replace(&mut entry.identify, identify)
+    }
+
+    /// Looks up a peer entry.
+    pub fn get(&self, peer: &PeerId) -> Option<&PeerEntry> {
+        self.peers.get(peer)
+    }
+
+    /// Iterates over all entries in peer-ID order.
+    pub fn iter(&self) -> impl Iterator<Item = &PeerEntry> {
+        self.peers.values()
+    }
+
+    /// Number of peers that currently announce the DHT-Server role.
+    pub fn dht_server_count(&self) -> usize {
+        self.peers.values().filter(|e| e.is_dht_server()).count()
+    }
+
+    /// Number of peers that have *ever* announced the DHT-Server role.
+    pub fn ever_dht_server_count(&self) -> usize {
+        self.peers.values().filter(|e| e.ever_dht_server).count()
+    }
+
+    /// Number of peers for which identify metadata was obtained.
+    pub fn known_metadata_count(&self) -> usize {
+        self.peers.values().filter(|e| e.identify.is_known()).count()
+    }
+
+    /// Merges another peerstore into this one (used to union the views of
+    /// multiple hydra heads). Earliest first-seen and latest last-seen win;
+    /// the identify payload of the more recently seen entry wins.
+    pub fn merge(&mut self, other: &Peerstore) {
+        for entry in other.iter() {
+            match self.peers.get_mut(&entry.peer) {
+                None => {
+                    self.peers.insert(entry.peer, entry.clone());
+                }
+                Some(existing) => {
+                    if entry.last_seen > existing.last_seen {
+                        existing.identify = entry.identify.clone();
+                        existing.last_seen = entry.last_seen;
+                    }
+                    existing.first_seen = existing.first_seen.min(entry.first_seen);
+                    existing.ever_dht_server |= entry.ever_dht_server;
+                    for addr in &entry.addrs {
+                        if !existing.addrs.contains(addr) {
+                            existing.addrs.push(*addr);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentVersion;
+    use crate::multiaddr::{IpAddress, Transport};
+    use crate::protocol::ProtocolSet;
+
+    fn server_info() -> IdentifyInfo {
+        IdentifyInfo::new(
+            AgentVersion::parse("go-ipfs/0.11.0/"),
+            ProtocolSet::go_ipfs_dht_server(),
+            Vec::new(),
+        )
+    }
+
+    fn client_info() -> IdentifyInfo {
+        IdentifyInfo::new(
+            AgentVersion::parse("go-ipfs/0.11.0/"),
+            ProtocolSet::go_ipfs_dht_client(),
+            Vec::new(),
+        )
+    }
+
+    fn addr(n: u32) -> Multiaddr {
+        Multiaddr::new(IpAddress::V4(n), Transport::Tcp, 4001)
+    }
+
+    #[test]
+    fn observe_creates_and_updates_timestamps() {
+        let mut store = Peerstore::new();
+        let p = PeerId::derived(1);
+        store.observe(p, SimTime::from_secs(10));
+        store.observe(p, SimTime::from_secs(50));
+        store.observe(p, SimTime::from_secs(30));
+        let entry = store.get(&p).unwrap();
+        assert_eq!(entry.first_seen, SimTime::from_secs(10));
+        assert_eq!(entry.last_seen, SimTime::from_secs(50));
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&p));
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn addresses_are_deduplicated() {
+        let mut store = Peerstore::new();
+        let p = PeerId::derived(1);
+        store.add_addr(p, addr(1), SimTime::ZERO);
+        store.add_addr(p, addr(1), SimTime::from_secs(1));
+        store.add_addr(p, addr(2), SimTime::from_secs(2));
+        assert_eq!(store.get(&p).unwrap().addrs.len(), 2);
+    }
+
+    #[test]
+    fn identify_update_returns_previous_and_tracks_server_history() {
+        let mut store = Peerstore::new();
+        let p = PeerId::derived(1);
+        let old = store.update_identify(p, server_info(), SimTime::from_secs(1));
+        assert!(!old.is_known());
+        assert_eq!(store.dht_server_count(), 1);
+        assert_eq!(store.ever_dht_server_count(), 1);
+
+        // Switching to a DHT-Client keeps the "ever server" flag — Fig. 2
+        // counts it as a server PID even after the role switch.
+        let old = store.update_identify(p, client_info(), SimTime::from_secs(2));
+        assert!(old.is_dht_server());
+        assert_eq!(store.dht_server_count(), 0);
+        assert_eq!(store.ever_dht_server_count(), 1);
+        assert_eq!(store.known_metadata_count(), 1);
+    }
+
+    #[test]
+    fn merge_unions_views() {
+        let p1 = PeerId::derived(1);
+        let p2 = PeerId::derived(2);
+
+        let mut head0 = Peerstore::new();
+        head0.observe(p1, SimTime::from_secs(10));
+        head0.update_identify(p1, client_info(), SimTime::from_secs(10));
+        head0.add_addr(p1, addr(1), SimTime::from_secs(10));
+
+        let mut head1 = Peerstore::new();
+        head1.observe(p1, SimTime::from_secs(5));
+        head1.update_identify(p1, server_info(), SimTime::from_secs(20));
+        head1.add_addr(p1, addr(2), SimTime::from_secs(20));
+        head1.observe(p2, SimTime::from_secs(7));
+
+        head0.merge(&head1);
+        assert_eq!(head0.len(), 2);
+        let merged = head0.get(&p1).unwrap();
+        assert_eq!(merged.first_seen, SimTime::from_secs(5));
+        assert_eq!(merged.last_seen, SimTime::from_secs(20));
+        // The newer identify (from head1) wins, and server history is kept.
+        assert!(merged.is_dht_server());
+        assert!(merged.ever_dht_server);
+        assert_eq!(merged.addrs.len(), 2);
+    }
+
+    #[test]
+    fn merge_prefers_newer_identify_regardless_of_merge_order() {
+        let p = PeerId::derived(1);
+        let mut newer = Peerstore::new();
+        newer.update_identify(p, server_info(), SimTime::from_secs(100));
+        let mut older = Peerstore::new();
+        older.update_identify(p, client_info(), SimTime::from_secs(50));
+
+        let mut a = newer.clone();
+        a.merge(&older);
+        assert!(a.get(&p).unwrap().is_dht_server());
+
+        let mut b = older.clone();
+        b.merge(&newer);
+        assert!(b.get(&p).unwrap().is_dht_server());
+    }
+
+    #[test]
+    fn counts_reflect_metadata_presence() {
+        let mut store = Peerstore::new();
+        store.observe(PeerId::derived(1), SimTime::ZERO);
+        store.update_identify(PeerId::derived(2), server_info(), SimTime::ZERO);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.known_metadata_count(), 1);
+        assert_eq!(store.dht_server_count(), 1);
+    }
+}

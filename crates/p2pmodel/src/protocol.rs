@@ -1,0 +1,359 @@
+//! Protocol identifiers and protocol sets.
+//!
+//! Peers announce the protocols they speak as part of the identify exchange.
+//! The paper uses this information to classify peers (a peer announcing
+//! `/ipfs/kad/1.0.0` is a DHT-Server), to find anomalies (go-ipfs agents that
+//! do not support Bitswap but do support the storm botnet's `sbptp`
+//! protocol), and to count role switches (peers adding/removing the kad or
+//! autonat announcement). Fig. 4 is a histogram over these identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A protocol identifier string such as `/ipfs/kad/1.0.0`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProtocolId(String);
+
+impl ProtocolId {
+    /// Creates a protocol identifier from a string.
+    pub fn new(id: impl Into<String>) -> Self {
+        ProtocolId(id.into())
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ProtocolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ProtocolId {
+    fn from(s: &str) -> Self {
+        ProtocolId::new(s)
+    }
+}
+
+impl From<String> for ProtocolId {
+    fn from(s: String) -> Self {
+        ProtocolId::new(s)
+    }
+}
+
+impl AsRef<str> for ProtocolId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Well-known protocol identifier strings observed in the paper (Fig. 4).
+pub mod well_known {
+    /// Kademlia DHT (announcing it makes a peer a DHT-Server).
+    pub const KAD: &str = "/ipfs/kad/1.0.0";
+    /// LAN-scoped Kademlia DHT.
+    pub const LAN_KAD: &str = "/ipfs/lan/kad/1.0.0";
+    /// Identify.
+    pub const ID: &str = "/ipfs/id/1.0.0";
+    /// Identify push.
+    pub const ID_PUSH: &str = "/ipfs/id/push/1.0.0";
+    /// Identify delta.
+    pub const ID_DELTA: &str = "/p2p/id/delta/1.0.0";
+    /// Ping.
+    pub const PING: &str = "/ipfs/ping/1.0.0";
+    /// Bitswap (unversioned legacy id).
+    pub const BITSWAP: &str = "/ipfs/bitswap";
+    /// Bitswap 1.0.0.
+    pub const BITSWAP_1_0: &str = "/ipfs/bitswap/1.0.0";
+    /// Bitswap 1.1.0.
+    pub const BITSWAP_1_1: &str = "/ipfs/bitswap/1.1.0";
+    /// Bitswap 1.2.0.
+    pub const BITSWAP_1_2: &str = "/ipfs/bitswap/1.2.0";
+    /// Gossipsub 1.0.
+    pub const MESHSUB_1_0: &str = "/meshsub/1.0.0";
+    /// Gossipsub 1.1.
+    pub const MESHSUB_1_1: &str = "/meshsub/1.1.0";
+    /// Floodsub.
+    pub const FLOODSUB: &str = "/floodsub/1.0.0";
+    /// AutoNAT (announcement flaps in the paper's observations).
+    pub const AUTONAT: &str = "/libp2p/autonat/1.0.0";
+    /// Circuit relay v1.
+    pub const RELAY_V1: &str = "/libp2p/circuit/relay/0.1.0";
+    /// Circuit relay v2 (stop).
+    pub const RELAY_V2_STOP: &str = "/libp2p/circuit/relay/0.2.0/stop";
+    /// libp2p fetch.
+    pub const FETCH: &str = "/libp2p/fetch/0.0.1";
+    /// The storm botnet's protocol, also announced by suspicious go-ipfs
+    /// v0.8.0 agents that hide their Bitswap support.
+    pub const SBPTP: &str = "/sbptp/1.0.0";
+    /// storm file-sharing protocol, v1.
+    pub const SFST_1: &str = "/sfst/1.0.0";
+    /// storm file-sharing protocol, v2.
+    pub const SFST_2: &str = "/sfst/2.0.0";
+    /// The ioi dial protocol.
+    pub const IOI_DIAL: &str = "/ioi/dial/1.0.0";
+    /// The ioi portssub protocol.
+    pub const IOI_PORTSSUB: &str = "/ioi/portssub/1.0.0";
+    /// The experimental `/x/` prefix.
+    pub const X: &str = "/x/";
+}
+
+/// The set of protocols a peer announces.
+///
+/// # Example
+///
+/// ```
+/// use p2pmodel::ProtocolSet;
+///
+/// let server = ProtocolSet::go_ipfs_dht_server();
+/// assert!(server.is_dht_server());
+/// assert!(server.supports_bitswap());
+///
+/// let client = ProtocolSet::go_ipfs_dht_client();
+/// assert!(!client.is_dht_server());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolSet {
+    protocols: BTreeSet<ProtocolId>,
+}
+
+impl ProtocolSet {
+    /// Creates an empty protocol set.
+    pub fn new() -> Self {
+        ProtocolSet::default()
+    }
+
+    /// The baseline protocols every go-ipfs client announces.
+    pub fn go_ipfs_base() -> Self {
+        use well_known::*;
+        [
+            ID, ID_PUSH, PING, BITSWAP, BITSWAP_1_0, BITSWAP_1_1, BITSWAP_1_2, MESHSUB_1_0,
+            MESHSUB_1_1, FLOODSUB, AUTONAT, RELAY_V1,
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// The protocol set of a go-ipfs DHT-Server (base + kad + lan kad).
+    pub fn go_ipfs_dht_server() -> Self {
+        let mut set = Self::go_ipfs_base();
+        set.insert(well_known::KAD);
+        set.insert(well_known::LAN_KAD);
+        set
+    }
+
+    /// The protocol set of a go-ipfs DHT-Client (base, no kad announcement).
+    pub fn go_ipfs_dht_client() -> Self {
+        Self::go_ipfs_base()
+    }
+
+    /// The minimal protocol set of a hydra-booster head: DHT routing without
+    /// Bitswap or pubsub.
+    pub fn hydra_head() -> Self {
+        use well_known::*;
+        [ID, PING, KAD].into_iter().collect()
+    }
+
+    /// The protocol set of a typical DHT crawler: identify + kad queries only.
+    pub fn crawler() -> Self {
+        use well_known::*;
+        [ID, PING, KAD].into_iter().collect()
+    }
+
+    /// The protocol set of a storm (IPStorm botnet) node: identify, kad and
+    /// the storm-specific protocols, no Bitswap.
+    pub fn storm_node() -> Self {
+        use well_known::*;
+        [ID, PING, KAD, SBPTP, SFST_1, SFST_2].into_iter().collect()
+    }
+
+    /// The anomalous go-ipfs v0.8.0 profile reported in the paper: claims to
+    /// be go-ipfs but announces `sbptp` instead of Bitswap.
+    pub fn disguised_storm() -> Self {
+        use well_known::*;
+        [ID, ID_PUSH, PING, KAD, MESHSUB_1_0, AUTONAT, RELAY_V1, SBPTP]
+            .into_iter()
+            .collect()
+    }
+
+    /// Number of announced protocols.
+    pub fn len(&self) -> usize {
+        self.protocols.len()
+    }
+
+    /// Whether the set is empty (no protocol information exchanged).
+    pub fn is_empty(&self) -> bool {
+        self.protocols.is_empty()
+    }
+
+    /// Adds a protocol; returns whether it was newly inserted.
+    pub fn insert(&mut self, protocol: impl Into<ProtocolId>) -> bool {
+        self.protocols.insert(protocol.into())
+    }
+
+    /// Removes a protocol; returns whether it was present.
+    pub fn remove(&mut self, protocol: &str) -> bool {
+        self.protocols.remove(&ProtocolId::new(protocol))
+    }
+
+    /// Whether the given protocol is announced.
+    pub fn contains(&self, protocol: &str) -> bool {
+        self.protocols.contains(&ProtocolId::new(protocol))
+    }
+
+    /// Whether the peer announces the IPFS Kademlia protocol, i.e. acts as a
+    /// DHT-Server.
+    pub fn is_dht_server(&self) -> bool {
+        self.contains(well_known::KAD)
+    }
+
+    /// Whether any Bitswap variant is announced.
+    pub fn supports_bitswap(&self) -> bool {
+        use well_known::*;
+        self.contains(BITSWAP)
+            || self.contains(BITSWAP_1_0)
+            || self.contains(BITSWAP_1_1)
+            || self.contains(BITSWAP_1_2)
+    }
+
+    /// Whether AutoNAT is announced.
+    pub fn supports_autonat(&self) -> bool {
+        self.contains(well_known::AUTONAT)
+    }
+
+    /// Whether any storm-specific protocol is announced.
+    pub fn has_storm_markers(&self) -> bool {
+        use well_known::*;
+        self.contains(SBPTP) || self.contains(SFST_1) || self.contains(SFST_2)
+    }
+
+    /// Iterates over the announced protocols in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProtocolId> {
+        self.protocols.iter()
+    }
+
+    /// Protocols present in `self` but not in `other` and vice versa, i.e.
+    /// the symmetric difference — the "announcement changes" counted in
+    /// Section IV-B.
+    pub fn diff(&self, other: &ProtocolSet) -> Vec<ProtocolId> {
+        self.protocols
+            .symmetric_difference(&other.protocols)
+            .cloned()
+            .collect()
+    }
+}
+
+impl<P: Into<ProtocolId>> FromIterator<P> for ProtocolSet {
+    fn from_iter<I: IntoIterator<Item = P>>(iter: I) -> Self {
+        ProtocolSet {
+            protocols: iter.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl<P: Into<ProtocolId>> Extend<P> for ProtocolSet {
+    fn extend<I: IntoIterator<Item = P>>(&mut self, iter: I) {
+        self.protocols.extend(iter.into_iter().map(Into::into));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn go_ipfs_profiles_have_expected_roles() {
+        let server = ProtocolSet::go_ipfs_dht_server();
+        assert!(server.is_dht_server());
+        assert!(server.supports_bitswap());
+        assert!(server.supports_autonat());
+        assert!(!server.has_storm_markers());
+
+        let client = ProtocolSet::go_ipfs_dht_client();
+        assert!(!client.is_dht_server());
+        assert!(client.supports_bitswap());
+    }
+
+    #[test]
+    fn hydra_and_crawler_are_dht_servers_without_bitswap() {
+        for set in [ProtocolSet::hydra_head(), ProtocolSet::crawler()] {
+            assert!(set.is_dht_server());
+            assert!(!set.supports_bitswap());
+        }
+    }
+
+    #[test]
+    fn storm_profiles_carry_markers() {
+        assert!(ProtocolSet::storm_node().has_storm_markers());
+        let disguised = ProtocolSet::disguised_storm();
+        assert!(disguised.has_storm_markers());
+        assert!(!disguised.supports_bitswap(), "the paper's anomaly: go-ipfs without bitswap");
+        assert!(disguised.is_dht_server());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = ProtocolSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(well_known::KAD));
+        assert!(!set.insert(well_known::KAD));
+        assert!(set.contains(well_known::KAD));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(well_known::KAD));
+        assert!(!set.remove(well_known::KAD));
+        assert!(!set.is_dht_server());
+    }
+
+    #[test]
+    fn diff_is_symmetric_difference() {
+        let server = ProtocolSet::go_ipfs_dht_server();
+        let client = ProtocolSet::go_ipfs_dht_client();
+        let diff = server.diff(&client);
+        assert_eq!(diff.len(), 2);
+        assert!(diff.iter().any(|p| p.as_str() == well_known::KAD));
+        assert!(diff.iter().any(|p| p.as_str() == well_known::LAN_KAD));
+        assert_eq!(client.diff(&server).len(), 2);
+        assert!(server.diff(&server).is_empty());
+    }
+
+    #[test]
+    fn protocol_id_conversions() {
+        let a: ProtocolId = "/ipfs/kad/1.0.0".into();
+        let b = ProtocolId::new(String::from("/ipfs/kad/1.0.0"));
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "/ipfs/kad/1.0.0");
+        assert_eq!(a.as_ref(), "/ipfs/kad/1.0.0");
+        assert_eq!(a.to_string(), "/ipfs/kad/1.0.0");
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_deterministic() {
+        let set = ProtocolSet::go_ipfs_dht_server();
+        let listed: Vec<&ProtocolId> = set.iter().collect();
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted);
+    }
+
+    proptest! {
+        #[test]
+        fn diff_with_self_is_empty(protocols in proptest::collection::vec("[a-z/0-9.]{1,20}", 0..20)) {
+            let set: ProtocolSet = protocols.iter().map(String::as_str).collect();
+            prop_assert!(set.diff(&set).is_empty());
+        }
+
+        #[test]
+        fn toggling_kad_toggles_server_role(protocols in proptest::collection::vec("[a-z/0-9.]{1,20}", 0..10)) {
+            let mut set: ProtocolSet = protocols.iter().map(String::as_str).collect();
+            set.remove(well_known::KAD);
+            prop_assert!(!set.is_dht_server());
+            set.insert(well_known::KAD);
+            prop_assert!(set.is_dht_server());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The agent-version distribution of Fig. 3.
+//!
+//! The paper observed 323 distinct agent strings: 263 go-ipfs versions and 61
+//! other agents, dominated by a handful of recent go-ipfs releases, with a
+//! long tail of rare versions that the figure groups under "other". This
+//! module samples agent strings per archetype so that the simulated
+//! population reproduces those proportions.
+
+use crate::archetype::Archetype;
+use p2pmodel::agent::{AgentVersion, SemVer, VersionFlavor};
+use simclock::SimRng;
+
+/// The major go-ipfs releases shown individually in Fig. 3, with weights
+/// proportional to their observed popularity (most peers run a recent
+/// release; the disguised storm population inflates 0.8.0).
+const GO_IPFS_RELEASES: &[(&str, f64)] = &[
+    ("0.11.0", 26.0),
+    ("0.10.0", 18.0),
+    ("0.11.0-dev", 2.0),
+    ("0.9.1", 11.0),
+    ("0.9.0", 3.0),
+    ("0.8.0", 6.0),
+    ("0.7.0", 5.0),
+    ("0.6.0", 3.0),
+    ("0.5.0-dev", 1.0),
+    ("0.4.23", 2.0),
+    ("0.4.22", 3.0),
+    ("0.4.21", 1.0),
+];
+
+/// Number of rare go-ipfs version strings in the long tail (the paper saw 263
+/// distinct go-ipfs versions overall).
+const RARE_GO_IPFS_VERSIONS: usize = 40;
+
+/// Non-go-ipfs agents shown in Fig. 3 (weights relative to each other within
+/// the "other agent" slice).
+const OTHER_AGENTS: &[(&str, f64)] = &[
+    ("storm", 5.0),
+    ("ioi", 3.0),
+    ("ant/0.2.1/fe027af", 1.0),
+    ("go-qkfile/0.9.1/", 1.0),
+    ("rust-libp2p/0.40.0", 0.5),
+    ("js-libp2p/0.35.0", 0.5),
+];
+
+/// Samples an agent version for a peer of the given archetype.
+///
+/// * Hydra heads always report `hydra-booster/0.7.4`.
+/// * Crawlers report `nebula-crawler` or `ipfs crawler`.
+/// * Storm nodes report `storm`; disguised storm nodes report go-ipfs 0.8.0.
+/// * Silent peers report nothing (their identify never completes anyway).
+/// * The single ethereum peer reports a go-ethereum agent.
+/// * Everyone else draws from the go-ipfs release distribution, with a small
+///   chance of landing in the rare-version long tail or of being a non-ipfs
+///   agent.
+pub fn sample_agent(archetype: Archetype, rng: &mut SimRng) -> AgentVersion {
+    match archetype {
+        Archetype::HydraHead => AgentVersion::parse("hydra-booster/0.7.4"),
+        Archetype::Crawler => {
+            if rng.chance(0.5) {
+                AgentVersion::parse("nebula-crawler/1.0.0")
+            } else {
+                AgentVersion::parse("ipfs crawler")
+            }
+        }
+        Archetype::StormNode => AgentVersion::parse("storm"),
+        Archetype::DisguisedStorm => AgentVersion::go_ipfs(
+            SemVer::new(0, 8, 0),
+            Some("ce693d7"),
+            VersionFlavor::Main,
+        ),
+        Archetype::SilentPeer => AgentVersion::Missing,
+        Archetype::EthereumNode => AgentVersion::parse("go-ethereum/v1.10.13"),
+        _ => sample_ordinary_agent(rng),
+    }
+}
+
+/// Samples the agent of an ordinary (non-special) peer: usually a mainstream
+/// go-ipfs release, sometimes a rare version, sometimes another libp2p agent.
+fn sample_ordinary_agent(rng: &mut SimRng) -> AgentVersion {
+    let roll = rng.unit();
+    if roll < 0.04 {
+        // Other (non-go-ipfs) agents.
+        let weights: Vec<f64> = OTHER_AGENTS.iter().map(|(_, w)| *w).collect();
+        let idx = rng.weighted_index(&weights);
+        return AgentVersion::parse(OTHER_AGENTS[idx].0);
+    }
+    if roll < 0.07 {
+        // The rare go-ipfs long tail: old or exotic versions with random
+        // commits, some of them dirty builds.
+        let tail_idx = rng.index(RARE_GO_IPFS_VERSIONS);
+        let version = SemVer::with_pre(0, 4, tail_idx as u32 % 21, format!("rc{}", tail_idx % 4 + 1));
+        let flavor = if rng.chance(0.3) {
+            VersionFlavor::Dirty
+        } else {
+            VersionFlavor::Main
+        };
+        return AgentVersion::go_ipfs(version, Some(&random_commit(rng)), flavor);
+    }
+    // Mainstream releases.
+    let weights: Vec<f64> = GO_IPFS_RELEASES.iter().map(|(_, w)| *w).collect();
+    let idx = rng.weighted_index(&weights);
+    let version = SemVer::parse(GO_IPFS_RELEASES[idx].0).expect("release table is valid");
+    let flavor = if rng.chance(0.02) {
+        VersionFlavor::Dirty
+    } else {
+        VersionFlavor::Main
+    };
+    let commit = if rng.chance(0.4) {
+        Some(random_commit(rng))
+    } else {
+        None
+    };
+    AgentVersion::go_ipfs(version, commit.as_deref(), flavor)
+}
+
+/// A random 7-character hex commit id.
+pub fn random_commit(rng: &mut SimRng) -> String {
+    let mut s = String::with_capacity(7);
+    for _ in 0..7 {
+        let digit = rng.index(16);
+        s.push(char::from_digit(digit as u32, 16).expect("hex digit"));
+    }
+    s
+}
+
+/// The list of mainstream go-ipfs release strings (used by the dynamics
+/// module to pick upgrade/downgrade targets).
+pub fn mainstream_releases() -> Vec<SemVer> {
+    GO_IPFS_RELEASES
+        .iter()
+        .map(|(v, _)| SemVer::parse(v).expect("release table is valid"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::Histogram;
+
+    #[test]
+    fn special_archetypes_get_their_signature_agents() {
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(
+            sample_agent(Archetype::HydraHead, &mut rng).display_group(),
+            "hydra-booster/0.7.4"
+        );
+        assert_eq!(sample_agent(Archetype::StormNode, &mut rng).display_group(), "storm");
+        assert!(sample_agent(Archetype::SilentPeer, &mut rng).is_missing());
+        assert_eq!(
+            sample_agent(Archetype::DisguisedStorm, &mut rng).display_group(),
+            "0.8.0"
+        );
+        assert!(sample_agent(Archetype::EthereumNode, &mut rng)
+            .display_group()
+            .contains("go-ethereum"));
+        let crawler = sample_agent(Archetype::Crawler, &mut rng).display_group();
+        assert!(crawler.contains("crawler"));
+    }
+
+    #[test]
+    fn ordinary_agents_are_mostly_recent_go_ipfs() {
+        let mut rng = SimRng::seed_from(2);
+        let mut hist = Histogram::new();
+        let mut go_ipfs = 0usize;
+        let n = 5_000;
+        for _ in 0..n {
+            let agent = sample_agent(Archetype::RegularServer, &mut rng);
+            if agent.is_go_ipfs() {
+                go_ipfs += 1;
+            }
+            hist.add(agent.display_group());
+        }
+        assert!(go_ipfs as f64 > 0.9 * n as f64, "go-ipfs should dominate");
+        // 0.11.0 must be the most common release, as in Fig. 3.
+        let top = hist.sorted_by_count();
+        assert_eq!(top[0].0, "0.11.0");
+        // There must be a long tail of distinct strings.
+        assert!(hist.distinct() > 20, "expected a long tail, got {}", hist.distinct());
+    }
+
+    #[test]
+    fn commit_ids_look_like_short_hashes() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..50 {
+            let c = random_commit(&mut rng);
+            assert_eq!(c.len(), 7);
+            assert!(c.chars().all(|ch| ch.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn mainstream_releases_are_sorted_ascending_when_sorted() {
+        let mut releases = mainstream_releases();
+        assert!(!releases.is_empty());
+        releases.sort();
+        assert!(releases.first().unwrap() < releases.last().unwrap());
+    }
+}

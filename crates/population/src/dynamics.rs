@@ -1,0 +1,328 @@
+//! Metadata dynamics: version changes and protocol-announcement flapping.
+//!
+//! Over its three-day observation window the paper records (Table III and
+//! Section IV-B):
+//!
+//! * 530 go-ipfs agent-version transitions (218 upgrades, 107 downgrades, 205
+//!   commit-only changes) with a main/dirty transition matrix dominated by
+//!   `main–main` and `dirty–dirty`,
+//! * 2 481 peers toggling their `/ipfs/kad/1.0.0` announcement a combined
+//!   68 396 times (DHT-Server ↔ DHT-Client role switches), and
+//! * 3 603 peers toggling `/libp2p/autonat/1.0.0` a combined 86 651 times.
+//!
+//! This module turns those aggregates into per-peer schedules of
+//! [`ScheduledChange`]s for the simulator.
+
+use crate::agents;
+use netsim::{MetadataChange, ScheduledChange};
+use p2pmodel::agent::{AgentVersion, VersionFlavor};
+use p2pmodel::protocol::well_known;
+use serde::{Deserialize, Serialize};
+use simclock::{SimDuration, SimRng, SimTime};
+
+/// Tunable probabilities and rates for the metadata dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsConfig {
+    /// Probability that a go-ipfs peer changes its agent version during a
+    /// three-day window (scaled linearly with the run length).
+    pub version_change_prob_3d: f64,
+    /// Probability that a change is an upgrade / downgrade / commit-only
+    /// change (must sum to 1).
+    pub upgrade_fraction: f64,
+    /// See [`Self::upgrade_fraction`].
+    pub downgrade_fraction: f64,
+    /// Probability that a peer flaps its kad announcement at all.
+    pub kad_flapper_prob: f64,
+    /// Probability that a peer flaps its autonat announcement at all.
+    pub autonat_flapper_prob: f64,
+    /// Mean interval between flaps for a flapping peer, in seconds.
+    pub flap_interval_mean_secs: f64,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        DynamicsConfig {
+            // ~530 changes among ~50k go-ipfs peers over 3 days.
+            version_change_prob_3d: 0.011,
+            upgrade_fraction: 0.41,   // 218 / 530
+            downgrade_fraction: 0.20, // 107 / 530
+            // 2 481 / 65 853 and 3 603 / 65 853.
+            kad_flapper_prob: 0.038,
+            autonat_flapper_prob: 0.055,
+            // 68 396 changes / 2 481 peers over 3 days ≈ one flap every 2.6 h.
+            flap_interval_mean_secs: 2.6 * 3600.0,
+        }
+    }
+}
+
+/// Generates the agent-version change (if any) for a go-ipfs peer.
+///
+/// Returns at most one scheduled change, consistent with Table III where the
+/// 530 transitions are spread over tens of thousands of peers.
+pub fn version_change_events(
+    current: &AgentVersion,
+    run: SimDuration,
+    config: &DynamicsConfig,
+    rng: &mut SimRng,
+) -> Vec<ScheduledChange> {
+    let AgentVersion::GoIpfs { version, flavor, .. } = current else {
+        return Vec::new();
+    };
+    let scale = run.as_secs_f64() / SimDuration::from_days(3).as_secs_f64();
+    if !rng.chance(config.version_change_prob_3d * scale) {
+        return Vec::new();
+    }
+    let releases = agents::mainstream_releases();
+    let mut sorted = releases.clone();
+    sorted.sort();
+    let pos = sorted.iter().position(|v| v == version);
+
+    let roll = rng.unit();
+    let new_version = if roll < config.upgrade_fraction {
+        // Upgrade: pick a strictly newer release if one exists.
+        match pos {
+            Some(p) if p + 1 < sorted.len() => sorted[rng.uniform_u64(p as u64 + 1, sorted.len() as u64) as usize].clone(),
+            _ => sorted.last().expect("release table non-empty").clone(),
+        }
+    } else if roll < config.upgrade_fraction + config.downgrade_fraction {
+        // Downgrade: pick a strictly older release if one exists.
+        match pos {
+            Some(p) if p > 0 => sorted[rng.index(p)].clone(),
+            _ => sorted.first().expect("release table non-empty").clone(),
+        }
+    } else {
+        // Commit-only change.
+        version.clone()
+    };
+
+    // Flavor transition matrix: most transitions stay within the same flavor
+    // (Table III: main–main 291, dirty–dirty 225, cross transitions rare).
+    let new_flavor = if rng.chance(0.03) {
+        match flavor {
+            VersionFlavor::Main => VersionFlavor::Dirty,
+            VersionFlavor::Dirty => VersionFlavor::Main,
+        }
+    } else {
+        *flavor
+    };
+
+    let new_agent = AgentVersion::go_ipfs(new_version, Some(&agents::random_commit(rng)), new_flavor);
+    let at = SimTime::from_millis(rng.uniform_u64(1, run.as_millis().max(2)));
+    vec![ScheduledChange {
+        at,
+        change: MetadataChange::SetAgent(new_agent),
+    }]
+}
+
+/// Generates announcement flapping for one protocol: the peer alternately
+/// removes and re-adds `protocol` at exponentially distributed intervals.
+///
+/// `initially_announced` states whether the peer announces the protocol at
+/// the start (the first flap is then a removal).
+pub fn flap_events(
+    protocol: &str,
+    initially_announced: bool,
+    run: SimDuration,
+    mean_interval_secs: f64,
+    rng: &mut SimRng,
+) -> Vec<ScheduledChange> {
+    let mut events = Vec::new();
+    let mut t = SimTime::ZERO + SimDuration::from_secs_f64(rng.exp(mean_interval_secs).max(1.0));
+    let mut announced = initially_announced;
+    let end = SimTime::ZERO + run;
+    while t < end {
+        let change = if announced {
+            MetadataChange::RemoveProtocol(protocol.to_string())
+        } else {
+            MetadataChange::AddProtocol(protocol.to_string())
+        };
+        events.push(ScheduledChange { at: t, change });
+        announced = !announced;
+        t += SimDuration::from_secs_f64(rng.exp(mean_interval_secs).max(60.0));
+    }
+    events
+}
+
+/// Generates the full change schedule for one peer: a possible version change
+/// plus kad and autonat flapping, all merged and sorted by time.
+pub fn peer_change_schedule(
+    agent: &AgentVersion,
+    is_dht_server: bool,
+    supports_autonat: bool,
+    run: SimDuration,
+    config: &DynamicsConfig,
+    rng: &mut SimRng,
+) -> Vec<ScheduledChange> {
+    let mut changes = version_change_events(agent, run, config, rng);
+    if rng.chance(config.kad_flapper_prob) {
+        changes.extend(flap_events(
+            well_known::KAD,
+            is_dht_server,
+            run,
+            config.flap_interval_mean_secs,
+            rng,
+        ));
+    }
+    if supports_autonat && rng.chance(config.autonat_flapper_prob) {
+        changes.extend(flap_events(
+            well_known::AUTONAT,
+            true,
+            run,
+            config.flap_interval_mean_secs,
+            rng,
+        ));
+    }
+    changes.sort_by_key(|c| c.at);
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmodel::agent::SemVer;
+
+    fn go_ipfs(minor: u32) -> AgentVersion {
+        AgentVersion::go_ipfs(SemVer::new(0, minor, 0), Some("abc1234"), VersionFlavor::Main)
+    }
+
+    #[test]
+    fn version_changes_only_apply_to_go_ipfs() {
+        let mut rng = SimRng::seed_from(1);
+        let config = DynamicsConfig {
+            version_change_prob_3d: 1.0,
+            ..DynamicsConfig::default()
+        };
+        let other = AgentVersion::parse("storm");
+        assert!(version_change_events(&other, SimDuration::from_days(3), &config, &mut rng).is_empty());
+        let go = go_ipfs(10);
+        let events = version_change_events(&go, SimDuration::from_days(3), &config, &mut rng);
+        assert_eq!(events.len(), 1);
+        match &events[0].change {
+            MetadataChange::SetAgent(agent) => assert!(agent.is_go_ipfs()),
+            other => panic!("expected SetAgent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_change_mix_matches_configured_fractions() {
+        let mut rng = SimRng::seed_from(2);
+        let config = DynamicsConfig {
+            version_change_prob_3d: 1.0,
+            ..DynamicsConfig::default()
+        };
+        let base = go_ipfs(9);
+        let mut up = 0;
+        let mut down = 0;
+        let mut change = 0;
+        for _ in 0..2000 {
+            let events = version_change_events(&base, SimDuration::from_days(3), &config, &mut rng);
+            let MetadataChange::SetAgent(new_agent) = &events[0].change else {
+                panic!("expected SetAgent");
+            };
+            match base.classify_change(new_agent).map(|c| c.kind) {
+                Some(p2pmodel::agent::VersionChangeKind::Upgrade) => up += 1,
+                Some(p2pmodel::agent::VersionChangeKind::Downgrade) => down += 1,
+                Some(p2pmodel::agent::VersionChangeKind::Change) => change += 1,
+                None => change += 1,
+            }
+        }
+        // Upgrades should outnumber downgrades roughly 2:1 as in Table III.
+        assert!(up > down, "upgrades {up} should exceed downgrades {down}");
+        assert!(change > 0, "commit-only changes must occur");
+        assert!(down > 0, "downgrades must occur");
+    }
+
+    #[test]
+    fn version_change_probability_scales_with_run_length() {
+        let config = DynamicsConfig::default();
+        let mut rng = SimRng::seed_from(3);
+        let base = go_ipfs(11);
+        let count =
+            |run: SimDuration, rng: &mut SimRng| -> usize {
+                (0..20_000)
+                    .filter(|_| !version_change_events(&base, run, &config, rng).is_empty())
+                    .count()
+            };
+        let short = count(SimDuration::from_hours(24), &mut rng);
+        let long = count(SimDuration::from_days(3), &mut rng);
+        assert!(long > short, "longer runs see more version changes ({long} vs {short})");
+    }
+
+    #[test]
+    fn flap_events_alternate_and_stay_within_run() {
+        let mut rng = SimRng::seed_from(4);
+        let run = SimDuration::from_days(3);
+        let events = flap_events(well_known::KAD, true, run, 3600.0, &mut rng);
+        assert!(!events.is_empty());
+        let end = SimTime::ZERO + run;
+        let mut expect_remove = true;
+        let mut prev = SimTime::ZERO;
+        for ev in &events {
+            assert!(ev.at < end);
+            assert!(ev.at >= prev);
+            prev = ev.at;
+            match (&ev.change, expect_remove) {
+                (MetadataChange::RemoveProtocol(p), true) | (MetadataChange::AddProtocol(p), false) => {
+                    assert_eq!(p, well_known::KAD);
+                }
+                other => panic!("flaps must alternate, got {other:?}"),
+            }
+            expect_remove = !expect_remove;
+        }
+    }
+
+    #[test]
+    fn flap_events_start_with_add_when_not_announced() {
+        let mut rng = SimRng::seed_from(5);
+        let events = flap_events(well_known::AUTONAT, false, SimDuration::from_days(1), 3600.0, &mut rng);
+        assert!(matches!(events[0].change, MetadataChange::AddProtocol(_)));
+    }
+
+    #[test]
+    fn peer_schedule_is_sorted_and_bounded() {
+        let mut rng = SimRng::seed_from(6);
+        let config = DynamicsConfig {
+            kad_flapper_prob: 1.0,
+            autonat_flapper_prob: 1.0,
+            version_change_prob_3d: 1.0,
+            ..DynamicsConfig::default()
+        };
+        let schedule = peer_change_schedule(
+            &go_ipfs(10),
+            true,
+            true,
+            SimDuration::from_days(3),
+            &config,
+            &mut rng,
+        );
+        assert!(schedule.len() > 2);
+        for pair in schedule.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn default_config_flap_rates_are_low() {
+        let config = DynamicsConfig::default();
+        let mut rng = SimRng::seed_from(7);
+        let mut flappers = 0;
+        for _ in 0..5_000 {
+            let schedule = peer_change_schedule(
+                &go_ipfs(11),
+                true,
+                true,
+                SimDuration::from_days(3),
+                &config,
+                &mut rng,
+            );
+            if schedule
+                .iter()
+                .any(|c| matches!(&c.change, MetadataChange::RemoveProtocol(p) | MetadataChange::AddProtocol(p) if p == well_known::KAD))
+            {
+                flappers += 1;
+            }
+        }
+        let fraction = flappers as f64 / 5_000.0;
+        assert!(fraction > 0.01 && fraction < 0.10, "kad flapper fraction {fraction} out of range");
+    }
+}

@@ -1,0 +1,39 @@
+//! Population and workload generator.
+//!
+//! The paper measures the *real* December-2021 IPFS network. That network is
+//! gone and unreachable from a test machine, so this crate synthesises a
+//! population of remote peers whose composition is calibrated to the numbers
+//! the paper itself reports: ~65 853 PIDs over three days, of which 50 254
+//! announce a go-ipfs agent, 1 028 are hydra heads on 11 IP addresses, 586
+//! are crawlers, ~7 500 are go-ipfs-v0.8.0-labelled storm nodes announcing
+//! `sbptp` instead of Bitswap, 18 845 announce the Kademlia protocol, and a
+//! heavy-tailed mix of connection behaviours that yields the heavy / normal /
+//! light / one-time classes of Table IV.
+//!
+//! The crate is organised as:
+//!
+//! * [`archetype`] — behavioural archetypes (stable server, core client,
+//!   light recurring peer, one-time user, crawler, hydra head, storm node…).
+//! * [`agents`] — the agent-version distribution of Fig. 3.
+//! * [`ip`] — IP address assignment including NAT pools and hydra
+//!   co-location (Section V-A).
+//! * [`dynamics`] — metadata dynamics: version upgrades/downgrades
+//!   (Table III) and kad/autonat announcement flapping.
+//! * [`builder`] — [`PopulationBuilder`], which combines all of the above
+//!   into `Vec<RemotePeerSpec>` for the simulator.
+//! * [`scenario`] — the measurement periods of Table I (P0–P4) and the
+//!   14-day extension run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod archetype;
+pub mod builder;
+pub mod dynamics;
+pub mod ip;
+pub mod scenario;
+
+pub use archetype::Archetype;
+pub use builder::{Population, PopulationBuilder, PopulationMix};
+pub use scenario::{MeasurementPeriod, Scenario, ScenarioRun};

@@ -1,0 +1,216 @@
+//! Deterministic future-event list.
+//!
+//! A discrete-event simulation advances by repeatedly popping the earliest
+//! scheduled event. [`EventQueue`] wraps a binary heap and guarantees a
+//! *deterministic* ordering: events scheduled for the same instant are
+//! delivered in insertion order (FIFO), so two simulation runs with the same
+//! seed and the same schedule produce identical traces.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event together with the instant it is scheduled for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The instant the event fires at.
+    pub at: SimTime,
+    /// Monotonically increasing sequence number used to break ties.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E: Eq> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (and within a
+        // time, the lowest sequence number) is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of future events.
+///
+/// # Example
+///
+/// ```
+/// use simclock::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(5), "b");
+/// q.schedule(SimTime::from_secs(1), "a");
+/// q.schedule(SimTime::from_secs(5), "c");
+///
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, vec!["a", "b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently popped
+    /// event (or [`SimTime::ZERO`] before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at instant `at`.
+    ///
+    /// Events scheduled for an instant earlier than the current clock are
+    /// delivered at the current clock instead (the simulation never travels
+    /// backwards).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ScheduledEvent { at, event, .. } = self.heap.pop()?;
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// Pops the earliest event only if it fires no later than `limit`.
+    ///
+    /// The clock advances to the event's timestamp when an event is returned
+    /// and is left unchanged otherwise.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(ev) if ev.at <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|ev| ev.at)
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(30), 3);
+        q.schedule(SimTime::from_secs(10), 1);
+        q.schedule(SimTime::from_secs(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(SimTime::from_secs(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(42), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(100), "late");
+        q.pop();
+        q.schedule(SimTime::from_secs(10), "early");
+        let (at, ev) = q.pop().unwrap();
+        assert_eq!(ev, "early");
+        assert_eq!(at, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), 1);
+        q.schedule(SimTime::from_secs(20), 2);
+        assert_eq!(q.pop_until(SimTime::from_secs(15)), Some((SimTime::from_secs(10), 1)));
+        assert_eq!(q.pop_until(SimTime::from_secs(15)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_remains_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), 10);
+        q.schedule(SimTime::from_secs(30), 30);
+        assert_eq!(q.pop().unwrap().1, 10);
+        // Schedule an event between the current clock and the next event.
+        q.schedule(q.now() + SimDuration::from_secs(5), 15);
+        assert_eq!(q.pop().unwrap().1, 15);
+        assert_eq!(q.pop().unwrap().1, 30);
+    }
+}

@@ -1,0 +1,371 @@
+//! Deterministic random number generation for simulations.
+//!
+//! Every stochastic decision in the simulator — session lengths, arrival
+//! times, which peer dials whom — is drawn from a [`SimRng`] seeded at the
+//! start of a run, so the entire measurement study is reproducible from a
+//! single `u64` seed.
+//!
+//! Besides uniform sampling, the churn models need a small set of
+//! distributions that are not worth an extra dependency:
+//!
+//! * [`SimRng::exp`] — exponential inter-arrival times (Poisson processes).
+//! * [`SimRng::log_normal`] — heavy-tailed but finite-mean session durations.
+//! * [`SimRng::pareto`] — very heavy-tailed durations for the stable core.
+//! * [`SimRng::zipf`] — popularity-skewed choices (e.g. version adoption).
+
+use rand::distributions::{Distribution, Uniform, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random number generator with the distributions used by the
+/// population and churn models.
+///
+/// # Example
+///
+/// ```
+/// use simclock::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.uniform_u64(0, 100), b.uniform_u64(0, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Components that evolve independently (e.g. each simulated node) get
+    /// their own child generator so that adding or removing one component
+    /// does not perturb the random streams of the others.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let base = self.inner.next_u64();
+        SimRng::seed_from(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A uniformly distributed `u64` in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform_u64(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "uniform_u64 requires low < high");
+        self.inner.gen_range(low..high)
+    }
+
+    /// A uniformly distributed `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A uniformly distributed `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// A fresh random 64-bit value (used to derive peer IDs).
+    pub fn raw_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// An exponentially distributed value with the given mean.
+    ///
+    /// Used for inter-arrival times of Poisson processes (e.g. one-time users
+    /// joining the network). A non-positive or non-finite mean yields `0`.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        if !mean.is_finite() || mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// A log-normally distributed value parameterised by the *median* and the
+    /// shape `sigma` (standard deviation of the underlying normal).
+    ///
+    /// Session durations in P2P networks are well described by log-normal
+    /// distributions: most sessions are short, but a long tail exists.
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        if !median.is_finite() || median <= 0.0 {
+            return 0.0;
+        }
+        let z = self.standard_normal();
+        median * (sigma * z).exp()
+    }
+
+    /// A Pareto-distributed value with minimum `scale` and tail index `alpha`.
+    ///
+    /// Used for the stable core of the network whose uptimes are very heavy
+    /// tailed (a small fraction of peers stays connected for days).
+    pub fn pareto(&mut self, scale: f64, alpha: f64) -> f64 {
+        if !scale.is_finite() || scale <= 0.0 || !alpha.is_finite() || alpha <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        scale / u.powf(1.0 / alpha)
+    }
+
+    /// A standard normal value (mean 0, variance 1) via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A Zipf-distributed rank in `[0, n)` with exponent `s`.
+    ///
+    /// Rank 0 is the most popular outcome. Used to skew e.g. agent-version
+    /// adoption towards the most recent releases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf requires a non-empty range");
+        // Inverse-CDF sampling over the (small) discrete support. The support
+        // sizes used by the population models are tens of entries, so the
+        // linear scan is not a bottleneck.
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut target = self.inner.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                return i;
+            }
+            target -= *w;
+        }
+        n - 1
+    }
+
+    /// Chooses an index according to the given non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or all weights are zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let dist = WeightedIndex::new(weights).expect("weights must be non-empty and non-zero");
+        dist.sample(&mut self.inner)
+    }
+
+    /// Chooses a reference to a random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (or all of them if `k >= n`).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k.min(n));
+        idx
+    }
+
+    /// A uniformly distributed value from an inclusive integer range, as a
+    /// convenience for configuration jitter.
+    pub fn jitter(&mut self, low: u64, high_inclusive: u64) -> u64 {
+        if low >= high_inclusive {
+            return low;
+        }
+        Uniform::new_inclusive(low, high_inclusive).sample(&mut self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.raw_u64(), b.raw_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.raw_u64() == b.raw_u64()).count();
+        assert!(same < 4, "independent streams should rarely collide");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::seed_from(9);
+        let mut parent2 = SimRng::seed_from(9);
+        let mut c1 = parent1.fork(42);
+        let mut c2 = parent2.fork(42);
+        assert_eq!(c1.raw_u64(), c2.raw_u64());
+
+        let mut parent3 = SimRng::seed_from(9);
+        let mut other = parent3.fork(43);
+        assert_ne!(c1.raw_u64(), other.raw_u64());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let v = rng.uniform_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn exp_has_roughly_correct_mean() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 20_000;
+        let mean = 120.0;
+        let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < mean * 0.05,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exp_degenerate_inputs_are_zero() {
+        let mut rng = SimRng::seed_from(11);
+        assert_eq!(rng.exp(0.0), 0.0);
+        assert_eq!(rng.exp(-5.0), 0.0);
+        assert_eq!(rng.exp(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn log_normal_median_is_roughly_right() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 20_001;
+        let median = 300.0;
+        let mut vals: Vec<f64> = (0..n).map(|_| rng.log_normal(median, 1.5)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let observed = vals[n / 2];
+        assert!(
+            (observed - median).abs() < median * 0.15,
+            "observed median {observed} too far from {median}"
+        );
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let mut rng = SimRng::seed_from(17);
+        for _ in 0..1000 {
+            assert!(rng.pareto(60.0, 1.2) >= 60.0);
+        }
+        assert_eq!(rng.pareto(0.0, 1.0), 0.0);
+        assert_eq!(rng.pareto(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_low_ranks() {
+        let mut rng = SimRng::seed_from(19);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.zipf(10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > counts[9]);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavier_weights() {
+        let mut rng = SimRng::seed_from(23);
+        let weights = [1.0, 0.0, 10.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..5_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(29);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_bounded() {
+        let mut rng = SimRng::seed_from(31);
+        let sample = rng.sample_indices(100, 10);
+        assert_eq!(sample.len(), 10);
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert!(sample.iter().all(|&i| i < 100));
+
+        // Requesting more than available returns everything.
+        assert_eq!(rng.sample_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn jitter_handles_degenerate_range() {
+        let mut rng = SimRng::seed_from(37);
+        assert_eq!(rng.jitter(5, 5), 5);
+        assert_eq!(rng.jitter(7, 3), 7);
+        for _ in 0..100 {
+            let v = rng.jitter(1, 3);
+            assert!((1..=3).contains(&v));
+        }
+    }
+}

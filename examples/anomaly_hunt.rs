@@ -1,0 +1,74 @@
+//! Reproduce the meta-data curiosities of Section IV-B: agent and protocol
+//! histograms (Fig. 3 / Fig. 4), version changes (Table III), role switching
+//! and the anomalies (go-ipfs agents without Bitswap, storm markers, the lone
+//! go-ethereum node).
+//!
+//! ```bash
+//! cargo run --release --example anomaly_hunt
+//! ```
+
+use analysis::metadata;
+use analysis::report;
+use ipfs_passive_measurement::prelude::*;
+
+fn main() {
+    let scale = 0.02;
+    println!("== Meta-data analysis of P4 at scale {scale} ==\n");
+    let campaign = run_period(MeasurementPeriod::P4, scale, 23);
+    let dataset = campaign.primary();
+
+    // Fig. 3: agent histogram. The paper groups agents with <= 100
+    // occurrences as "other"; at reduced scale the threshold scales too.
+    let threshold = (100.0 * scale).ceil() as u64;
+    let agents = agent_histogram(dataset, threshold);
+    println!("-- Fig. 3: agent versions (\"other\" threshold {threshold}) --");
+    println!("{}", report::bar_chart(&agents.sorted_by_count(), 40));
+
+    let breakdown = metadata::agent_breakdown(dataset);
+    println!("-- agent families --");
+    println!("  go-ipfs : {}", report::count(breakdown.go_ipfs));
+    println!("  hydra   : {}", report::count(breakdown.hydra));
+    println!("  crawler : {}", report::count(breakdown.crawler));
+    println!("  other   : {}", report::count(breakdown.other));
+    println!("  missing : {}", report::count(breakdown.missing));
+    println!("  distinct agent strings   : {}", breakdown.distinct_agents);
+    println!("  distinct protocols       : {}", breakdown.distinct_protocols);
+    println!("  kad supporters (servers) : {}", report::count(breakdown.kad_supporters));
+    println!("  bitswap supporters       : {}\n", report::count(breakdown.bitswap_supporters));
+
+    // Fig. 4: protocol histogram.
+    let protocol_threshold = (300.0 * scale).ceil() as u64;
+    let protocols = protocol_histogram(dataset, protocol_threshold);
+    println!("-- Fig. 4: supported protocols (\"other\" threshold {protocol_threshold}) --");
+    println!("{}", report::bar_chart(&protocols.sorted_by_count(), 40));
+
+    // Table III: version changes.
+    let versions = version_changes(dataset);
+    println!("-- Table III: go-ipfs version changes --");
+    let rows = vec![
+        vec!["Upgrade".into(), versions.upgrades.to_string(), "main-main".into(), versions.main_to_main.to_string()],
+        vec!["Downgrade".into(), versions.downgrades.to_string(), "dirty-main".into(), versions.dirty_to_main.to_string()],
+        vec!["Change".into(), versions.changes.to_string(), "main-dirty".into(), versions.main_to_dirty.to_string()],
+        vec!["(peers)".into(), versions.peers_with_changes.to_string(), "dirty-dirty".into(), versions.dirty_to_dirty.to_string()],
+    ];
+    println!("{}", report::text_table(&["Version", "#", "Type", "#"], &rows));
+
+    // Role switching.
+    let roles = role_switches(dataset);
+    println!("-- role switching --");
+    println!("  peers with protocol-announcement changes: {}", roles.peers_with_protocol_changes);
+    println!("  protocol change events                  : {}", roles.protocol_change_events);
+    println!("  DHT-Server -> DHT-Client switchers      : {}\n", roles.role_switchers);
+
+    // Anomalies.
+    let anomalies = metadata::anomaly_report(dataset);
+    println!("-- anomalies --");
+    println!("  go-ipfs agents without Bitswap : {}", report::count(anomalies.go_ipfs_without_bitswap));
+    println!("  ... of which announce sbptp    : {}", report::count(anomalies.go_ipfs_with_storm_markers));
+    println!("  peers with storm protocols     : {}", report::count(anomalies.storm_protocol_peers));
+    println!("  go-ethereum agents             : {}", anomalies.ethereum_agents);
+    println!("  minimal DHT nodes              : {}", report::count(anomalies.minimal_dht_nodes));
+    println!("\nThe disguised storm population (go-ipfs v0.8.0 announcing sbptp instead of");
+    println!("Bitswap) is exactly the anomaly the paper uses to motivate protocol-based");
+    println!("peer classification.");
+}

@@ -1,0 +1,74 @@
+//! Reproduce the connection-churn comparison across measurement periods
+//! (Table II and Fig. 5): run P0–P3 with their different LowWater/HighWater
+//! settings and show how the thresholds shape connection durations and the
+//! simultaneous-connection curve.
+//!
+//! ```bash
+//! cargo run --release --example measurement_periods
+//! ```
+
+use analysis::report;
+use ipfs_passive_measurement::prelude::*;
+use simclock::SimDuration;
+
+fn main() {
+    let scale = 0.02;
+    let periods = [
+        MeasurementPeriod::P0,
+        MeasurementPeriod::P1,
+        MeasurementPeriod::P2,
+        MeasurementPeriod::P3,
+    ];
+
+    println!("== Table II: connection statistics per period (scale {scale}) ==\n");
+    let mut rows = Vec::new();
+    let mut timelines = Vec::new();
+    for period in periods {
+        let campaign = run_period(period, scale, 1975);
+        for dataset in campaign.passive_datasets() {
+            let stats = connection_stats(dataset);
+            rows.push(vec![
+                period.label().to_string(),
+                dataset.client.clone(),
+                "All".to_string(),
+                report::count(stats.all_sum),
+                report::secs(stats.all_avg_secs),
+                report::secs(stats.all_median_secs),
+            ]);
+            rows.push(vec![
+                period.label().to_string(),
+                dataset.client.clone(),
+                "Peer".to_string(),
+                report::count(stats.peer_sum),
+                report::secs(stats.peer_avg_secs),
+                report::secs(stats.peer_median_secs),
+            ]);
+        }
+        if let Some(go_ipfs) = &campaign.go_ipfs {
+            timelines.push((period, connection_timeline(go_ipfs, SimDuration::from_hours(24))));
+        }
+    }
+    println!(
+        "{}",
+        report::text_table(&["Period", "Client", "Type", "Sum", "Avg [s]", "Median [s]"], &rows)
+    );
+
+    println!("== Fig. 5: simultaneous connections over the first 24 h (go-ipfs client) ==\n");
+    for (period, timeline) in timelines {
+        let compact = timeline.downsample(12);
+        let peaks: Vec<String> = compact
+            .points()
+            .iter()
+            .map(|&(t, v)| format!("{:>3.0}h:{:>6.0}", t / 3600.0, v))
+            .collect();
+        println!("  {:<4} {}", period.label(), peaks.join("  "));
+        println!(
+            "       peak {:.0} simultaneous connections\n",
+            timeline.max_value()
+        );
+    }
+
+    println!("Reading: P0's low thresholds trim aggressively (short connections, high churn),");
+    println!("P2's high thresholds let connections live until the remote side trims them, and");
+    println!("the DHT-Client deployment (P3) attracts an order of magnitude fewer connections.");
+}

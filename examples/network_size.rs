@@ -1,0 +1,69 @@
+//! Reproduce Section V: how large is the IPFS network?
+//!
+//! Runs the three-day P4 measurement, then walks through the paper's chain of
+//! estimators: raw PID count → IP-address grouping → connection-time
+//! classification (Table IV) → metadata fingerprinting (the paper's
+//! future-work idea), and compares each against the simulation's ground
+//! truth.
+//!
+//! ```bash
+//! cargo run --release --example network_size
+//! ```
+
+use analysis::report;
+use ipfs_passive_measurement::prelude::*;
+
+fn main() {
+    let scale = 0.02;
+    println!("== Reproducing P4 (3 days, go-ipfs DHT-Server, 18k/20k) at scale {scale} ==\n");
+    let campaign = run_period(MeasurementPeriod::P4, scale, 11);
+    let dataset = campaign.primary();
+    let truth = campaign.ground_truth.population_size();
+
+    println!("PIDs observed            : {}", report::count(dataset.pid_count()));
+    println!("PIDs with a connection   : {}", report::count(dataset.connected_pid_count()));
+    println!("ground-truth participants: {}\n", report::count(truth));
+
+    // Estimator 1: IP grouping (§V-A).
+    let grouping = ip_grouping(dataset);
+    println!("== §V-A IP-address grouping ==");
+    println!("  distinct IPs    : {}", report::count(grouping.distinct_ips));
+    println!("  IP groups       : {}", report::count(grouping.groups));
+    println!("  singleton groups: {}", report::count(grouping.singleton_groups));
+    println!("  largest group   : {} PIDs on one IP (the rotating-PID operator)", grouping.largest_group);
+    println!("  top groups      : {:?}\n", grouping.top_groups);
+
+    // Estimator 2: connection-time classification (Table IV).
+    let classes = classify_peers(dataset);
+    println!("== Table IV: connection-time classification ==");
+    let rows: Vec<Vec<String>> = classes
+        .rows
+        .iter()
+        .map(|(label, total, servers)| {
+            vec![label.clone(), report::count(*total), report::count(*servers)]
+        })
+        .collect();
+    println!("{}", report::text_table(&["Class", "Peers", "DHT-Server"], &rows));
+    println!("  core network (heavy + normal): {}\n", report::count(classes.core_size()));
+
+    // Estimator 3 (extension): metadata fingerprints.
+    let fingerprints = fingerprint_groups(dataset);
+    println!("== Extension: metadata fingerprints ==");
+    println!("  PIDs with metadata         : {}", report::count(fingerprints.pids_considered));
+    println!("  (agent, protocols) groups  : {}", report::count(fingerprints.metadata_fingerprints));
+    println!("  (agent, protocols, IP)     : {}", report::count(fingerprints.full_fingerprints));
+    println!("  largest fingerprint group  : {}\n", fingerprints.largest_group);
+
+    let estimate = network_size_estimate(dataset);
+    println!("== Summary ==");
+    let rows = vec![
+        vec!["PID count".to_string(), report::count(estimate.by_pids)],
+        vec!["IP groups".to_string(), report::count(estimate.by_ip_groups)],
+        vec!["fingerprint groups".to_string(), report::count(fingerprints.full_fingerprints)],
+        vec!["core lower bound".to_string(), report::count(estimate.core_lower_bound)],
+        vec!["ground truth".to_string(), report::count(truth)],
+    ];
+    println!("{}", report::text_table(&["Estimator", "Participants"], &rows));
+    println!("As in the paper: every estimator over-counts relative to the true population,");
+    println!("the IP grouping narrows the gap, and heavy+normal peers bound the core from below.");
+}

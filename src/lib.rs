@@ -1,0 +1,58 @@
+//! Reproduction of *"Passively Measuring IPFS Churn and Network Size"*
+//! (Daniel & Tschorsch, ICDCS 2022).
+//!
+//! The public IPFS network the paper measured is unreachable from a test
+//! machine (and no longer exists in its December-2021 form), so this crate
+//! family reproduces the study on a calibrated simulation:
+//!
+//! * [`simclock`] — discrete-event clock, scheduler, deterministic RNG,
+//!   statistics.
+//! * [`p2pmodel`] — peer IDs, multiaddresses, agent versions, protocols,
+//!   Kademlia routing tables and the libp2p connection manager.
+//! * [`netsim`] — the overlay simulator producing exactly the observables a
+//!   passive measurement node has.
+//! * [`population`] — the peer population calibrated to the paper's reported
+//!   network composition, plus the measurement-period scenarios of Table I.
+//! * [`measurement`] — the instrumented go-ipfs and hydra clients, the
+//!   active-crawler baseline and the JSON data sets.
+//! * [`analysis`] — the pipelines that regenerate every table and figure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ipfs_passive_measurement::prelude::*;
+//!
+//! // Reproduce (a scaled-down) measurement period P1: go-ipfs + 2 hydra heads.
+//! let campaign = run_period(MeasurementPeriod::P1, 0.004, 42);
+//! let stats = connection_stats(campaign.primary());
+//! assert!(stats.all_sum > 0);
+//! assert!(stats.all_avg_secs > stats.all_median_secs, "heavy-tailed durations");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use measurement;
+pub use netsim;
+pub use p2pmodel;
+pub use population;
+pub use simclock;
+
+/// The most commonly used items, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use analysis::{
+        agent_histogram, classify_peers, connection_count_cdf, connection_stats,
+        connection_timeline, direction_stats, fingerprint_groups, horizon_comparison, ip_grouping,
+        max_duration_cdf, network_size_estimate, pid_growth, protocol_histogram, role_switches,
+        version_changes, ConnectionClass,
+    };
+    pub use measurement::{
+        run_period, run_scenario, ActiveCrawler, GoIpfsMonitor, HydraMonitor, MeasurementCampaign,
+        MeasurementDataset,
+    };
+    pub use netsim::{DhtRole, Network, NetworkConfig, ObserverSpec, RemotePeerSpec};
+    pub use p2pmodel::{AgentVersion, ConnLimits, IdentifyInfo, Multiaddr, PeerId, ProtocolSet};
+    pub use population::{MeasurementPeriod, PopulationBuilder, PopulationMix, Scenario};
+    pub use simclock::{SimDuration, SimRng, SimTime};
+}
