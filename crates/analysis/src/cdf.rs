@@ -9,12 +9,11 @@
 
 use measurement::MeasurementDataset;
 use p2pmodel::PeerId;
-use serde::{Deserialize, Serialize};
 use simclock::Cdf;
 use std::collections::BTreeMap;
 
 /// The three duration CDFs of the left plot of Fig. 7.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DurationCdfs {
     /// All PIDs with connection information.
     pub all: Cdf,

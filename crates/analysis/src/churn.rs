@@ -15,12 +15,11 @@
 
 use measurement::MeasurementDataset;
 use p2pmodel::{CloseReason, PeerId};
-use serde::{Deserialize, Serialize};
 use simclock::Summary;
 use std::collections::BTreeMap;
 
 /// One row pair of Table II for a single client and period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConnectionStats {
     /// The client the statistics describe.
     pub client: String,
@@ -39,7 +38,7 @@ pub struct ConnectionStats {
 }
 
 /// Inbound/outbound breakdown of the same connections.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DirectionStats {
     /// Number of inbound connections.
     pub inbound: usize,

@@ -8,11 +8,10 @@
 //! network-size estimate.
 
 use measurement::MeasurementDataset;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A network-size estimate based on metadata fingerprints.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FingerprintEstimate {
     /// PIDs with known metadata that were considered.
     pub pids_considered: usize,

@@ -8,10 +8,9 @@
 //! fresh-snapshot crawl reports.
 
 use measurement::{CrawlSummary, MeasurementCampaign, MeasurementDataset};
-use serde::{Deserialize, Serialize};
 
 /// One bar of Fig. 2: a passive client's PID counts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HorizonEntry {
     /// Client name.
     pub client: String,
@@ -33,7 +32,7 @@ impl HorizonEntry {
 }
 
 /// The full Fig. 2 comparison for one measurement period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HorizonComparison {
     /// The period label ("P0", "P1", …).
     pub period: String,

@@ -10,7 +10,6 @@
 use measurement::MeasurementDataset;
 use p2pmodel::agent::{AgentVersion, VersionChangeKind};
 use p2pmodel::protocol::well_known;
-use serde::{Deserialize, Serialize};
 use simclock::Histogram;
 
 /// Fig. 3: occurrences of agent strings, grouped the way the figure groups
@@ -39,7 +38,7 @@ pub fn protocol_histogram(dataset: &MeasurementDataset, other_threshold: u64) ->
 
 /// The agent-family breakdown the paper reports alongside Fig. 3 (go-ipfs /
 /// hydra / crawler / other / missing).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AgentBreakdown {
     /// PIDs announcing some go-ipfs version.
     pub go_ipfs: usize,
@@ -101,7 +100,7 @@ pub fn agent_breakdown(dataset: &MeasurementDataset) -> AgentBreakdown {
 }
 
 /// Table III: classification of observed go-ipfs version changes.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VersionChangeTable {
     /// Version number increased.
     pub upgrades: usize,
@@ -164,7 +163,7 @@ pub fn version_changes(dataset: &MeasurementDataset) -> VersionChangeTable {
 
 /// Role-switch statistics: how many peers toggled their kad / autonat
 /// announcements and how often (Section IV-B).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoleSwitchStats {
     /// Peers that changed their protocol announcements at all.
     pub peers_with_protocol_changes: usize,
@@ -193,7 +192,7 @@ pub fn role_switches(dataset: &MeasurementDataset) -> RoleSwitchStats {
 }
 
 /// The anomalies called out in Section IV-B.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AnomalyReport {
     /// go-ipfs agents that do not announce any Bitswap variant.
     pub go_ipfs_without_bitswap: usize,

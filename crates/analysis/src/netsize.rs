@@ -15,12 +15,11 @@
 
 use measurement::MeasurementDataset;
 use p2pmodel::{IpAddress, PeerId};
-use serde::{Deserialize, Serialize};
 use simclock::SimDuration;
 use std::collections::BTreeMap;
 
 /// The result of grouping PIDs by the IP address they connected from (§V-A).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IpGrouping {
     /// PIDs in the data set (connected or not).
     pub total_pids: usize,
@@ -74,7 +73,7 @@ pub fn ip_grouping(dataset: &MeasurementDataset) -> IpGrouping {
 }
 
 /// The connection classes of Table IV.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConnectionClass {
     /// Connected for more than 24 h: stable, constantly active peers.
     Heavy,
@@ -130,13 +129,12 @@ impl std::fmt::Display for ConnectionClass {
 }
 
 /// Table IV: peers and DHT-Servers per connection class.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PeerClassification {
     /// `(total peers, DHT-Server peers)` per class, keyed by class label in
     /// Table IV order.
     pub rows: Vec<(String, usize, usize)>,
     /// The class of every peer (for downstream analyses).
-    #[serde(skip)]
     pub per_peer: BTreeMap<PeerId, ConnectionClass>,
 }
 
@@ -209,7 +207,7 @@ pub fn classify_peers(dataset: &MeasurementDataset) -> PeerClassification {
 }
 
 /// The combined network-size estimate of Section V.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkSizeEstimate {
     /// Estimate by PID count (the naive upper bound).
     pub by_pids: usize,

@@ -7,7 +7,6 @@
 
 use measurement::MeasurementDataset;
 use p2pmodel::PeerId;
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimTime, TimeSeries};
 use std::collections::BTreeMap;
 
@@ -24,7 +23,7 @@ pub fn connection_timeline(dataset: &MeasurementDataset, window: SimDuration) ->
 }
 
 /// Fig. 6: PID growth and long-disconnected PIDs over time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PidGrowth {
     /// `(hours, total PIDs ever seen)` samples.
     pub total_pids: TimeSeries,

@@ -11,11 +11,10 @@
 use measurement::MeasurementCampaign;
 use netsim::GroundTruthEvent;
 use p2pmodel::CloseReason;
-use serde::{Deserialize, Serialize};
 
 /// Decomposition of observed connection closes by ground-truth cause, next to
 /// the actual node-churn rate.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChurnDecomposition {
     /// Connection closes caused by the observer's own connection manager.
     pub closed_by_local_trim: usize,

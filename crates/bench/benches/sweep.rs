@@ -1,0 +1,49 @@
+//! Campaign sweep subsystem: grid enumeration, a small end-to-end parallel
+//! sweep, and the report-aggregation stage in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use measurement::sweep::{CellReport, SweepGrid, SweepReport, SweepRunner};
+use population::MeasurementPeriod;
+use std::hint::black_box;
+
+fn small_grid() -> SweepGrid {
+    SweepGrid::new(vec![MeasurementPeriod::P1])
+        .with_scales(vec![0.003])
+        .with_seed_count(4)
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    c.bench_function("sweep/grid_cells_1k", |b| {
+        let grid = SweepGrid::new(vec![
+            MeasurementPeriod::P0,
+            MeasurementPeriod::P1,
+            MeasurementPeriod::P2,
+            MeasurementPeriod::P3,
+            MeasurementPeriod::P4,
+        ])
+        .with_scales(vec![0.005, 0.01, 0.02, 0.05])
+        .with_seed_count(50);
+        b.iter(|| black_box(grid.cells().len()))
+    });
+
+    c.bench_function("sweep/run_p1_4seeds", |b| {
+        let grid = small_grid();
+        b.iter(|| black_box(SweepRunner::new().run(&grid).cells.len()))
+    });
+
+    c.bench_function("sweep/aggregate_and_json", |b| {
+        let report = SweepRunner::new().run(&small_grid());
+        let cells: Vec<CellReport> = report.cells.clone();
+        b.iter(|| {
+            let report = SweepReport::from_cells(black_box(cells.clone()));
+            black_box(report.to_json_string().len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep
+}
+criterion_main!(benches);

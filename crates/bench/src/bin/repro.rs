@@ -7,6 +7,19 @@
 //! cargo run --release -p bench --bin repro -- --only table2,fig7
 //! ```
 //!
+//! The `sweep` subcommand runs whole grids of campaigns in parallel and
+//! reports cross-seed statistics (mean / stddev / 95 % CI) as JSON on stdout
+//! plus an aligned summary table on stderr:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro -- sweep --periods P1,P2 --seeds 8
+//! cargo run --release -p bench --bin repro -- sweep --periods P4 --scales 0.005,0.01 \
+//!     --tweaks baseline=1.0,tight=0.5 --threads 8 --pretty
+//! ```
+//!
+//! Sweep output is deterministic: the same grid produces byte-identical JSON
+//! regardless of `--threads`.
+//!
 //! Absolute values scale with the `--scale` factor (the paper measured the
 //! real ~48k-peer network); the *shapes* — orderings, ratios, crossovers —
 //! are the reproduction target, as documented in EXPERIMENTS.md.
@@ -17,10 +30,12 @@ use analysis::{
     fingerprint_groups, horizon_comparison, ip_grouping, max_duration_cdf, network_size_estimate,
     pid_growth, role_switches, version_changes,
 };
+use measurement::sweep::{ObserverTweak, SweepGrid, SweepRunner};
 use measurement::{run_period, MeasurementCampaign};
 use population::{MeasurementPeriod, Scenario};
 use simclock::{Cdf, SimDuration};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 struct Options {
     scale: f64,
@@ -69,6 +84,11 @@ fn wants(options: &Options, key: &str) -> bool {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        run_sweep_command(&args[1..]);
+        return;
+    }
     let options = parse_args();
     println!("# Reproduction harness — scale {}, seed {}\n", options.scale, options.seed);
 
@@ -379,4 +399,141 @@ fn network_size(
         report::count(estimate.max_simultaneous_connections),
         report::count(campaign.ground_truth.population_size())
     );
+}
+
+// ---- the `sweep` subcommand ------------------------------------------------
+
+fn sweep_usage() -> ! {
+    eprintln!(
+        "usage: repro sweep [--periods P1,P2,...] [--scales 0.01,...] \
+         [--seeds N | --seed-list 3,17,...] [--tweaks label=factor,...] \
+         [--base-seed N] [--threads N] [--pretty] [--no-table]"
+    );
+    std::process::exit(2);
+}
+
+fn run_sweep_command(args: &[String]) {
+    let mut periods = vec![MeasurementPeriod::P1, MeasurementPeriod::P2];
+    let mut scales = vec![0.01];
+    let mut seeds: Vec<u64> = (1..=8).collect();
+    let mut tweaks = vec![ObserverTweak::default()];
+    let mut base_seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut pretty = false;
+    let mut table = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| sweep_usage())
+        };
+        match args[i].as_str() {
+            "--periods" => {
+                periods = take(i)
+                    .split(',')
+                    .map(|label| {
+                        MeasurementPeriod::from_label(label.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown period {label:?} (expected P0..P4 or P14d)");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--scales" => {
+                scales = take(i)
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("invalid scale {s:?}");
+                        std::process::exit(2);
+                    }))
+                    .collect();
+                i += 2;
+            }
+            "--seeds" => {
+                let n: u64 = take(i).parse().unwrap_or_else(|_| sweep_usage());
+                seeds = (1..=n).collect();
+                i += 2;
+            }
+            "--seed-list" => {
+                seeds = take(i)
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| sweep_usage()))
+                    .collect();
+                i += 2;
+            }
+            "--tweaks" => {
+                tweaks = take(i)
+                    .split(',')
+                    .map(|spec| {
+                        let (label, factor) = spec.split_once('=').unwrap_or((spec, "1.0"));
+                        let factor: f64 = factor.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("invalid tweak {spec:?} (expected label=factor)");
+                            std::process::exit(2);
+                        });
+                        ObserverTweak::limits(label.trim(), factor)
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--base-seed" => {
+                base_seed = Some(take(i).parse().unwrap_or_else(|_| sweep_usage()));
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(take(i).parse().unwrap_or_else(|_| sweep_usage()));
+                i += 2;
+            }
+            "--pretty" => {
+                pretty = true;
+                i += 1;
+            }
+            "--no-table" => {
+                table = false;
+                i += 1;
+            }
+            _ => sweep_usage(),
+        }
+    }
+
+    if periods.is_empty() || scales.is_empty() || seeds.is_empty() || tweaks.is_empty() {
+        sweep_usage();
+    }
+
+    let mut grid = SweepGrid::new(periods)
+        .with_scales(scales)
+        .with_seeds(seeds)
+        .with_tweaks(tweaks);
+    if let Some(base) = base_seed {
+        grid = grid.with_base_seed(base);
+    }
+    if let Err(problem) = grid.validate() {
+        eprintln!("invalid sweep grid: {problem}");
+        std::process::exit(2);
+    }
+    let runner = match threads {
+        Some(n) => SweepRunner::new().with_threads(n),
+        None => SweepRunner::new(),
+    };
+
+    let total = grid.cell_count();
+    eprintln!("# sweep: {total} campaigns");
+    let started = std::time::Instant::now();
+    let done = AtomicUsize::new(0);
+    let report = runner.run_with_progress(&grid, |cell| {
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[{finished}/{total}] {} scale {} seed {} ({}): {} conns, {} pids",
+            cell.period, cell.scale, cell.seed, cell.tweak, cell.connections, cell.pids
+        );
+    });
+    eprintln!("# sweep finished in {:.1?}", started.elapsed());
+    if table {
+        eprintln!("\n{}", report.summary_table());
+    }
+    if pretty {
+        println!("{}", report.to_json_string_pretty());
+    } else {
+        println!("{}", report.to_json_string());
+    }
 }

@@ -12,11 +12,10 @@
 //!   monitors keep every PID they ever saw.
 
 use netsim::GroundTruth;
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimRng, SimTime};
 
 /// One crawl of the DHT.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrawlSnapshot {
     /// When the crawl ran.
     pub at: SimTime,
@@ -28,7 +27,7 @@ pub struct CrawlSnapshot {
 }
 
 /// Aggregate of a crawl series (the min/max range shown as bars in Fig. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrawlSummary {
     /// Number of crawls.
     pub crawls: usize,

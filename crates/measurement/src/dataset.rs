@@ -5,16 +5,16 @@
 //! single input type of every analysis. Hydra heads can be merged into a
 //! union data set exactly like the paper unions the PID sets of all heads.
 
-use crate::record::{ConnectionRecord, PeerRecord, SnapshotRecord};
+use crate::record::{self, ConnectionRecord, PeerRecord, SnapshotRecord};
+use jsonio::{Json, JsonError};
 use p2pmodel::PeerId;
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 
 /// The complete data set recorded by one measurement client (or the union of
 /// several hydra heads).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasurementDataset {
     /// Name of the client that produced the data (`"go-ipfs"`, `"hydra-h0"`,
     /// `"hydra-union"`, …).
@@ -118,28 +118,98 @@ impl MeasurementDataset {
         self.ended_at = self.ended_at.max(other.ended_at);
     }
 
+    /// Renders the data set as a [`Json`] value (the paper's export schema:
+    /// client, measurement window, peer records keyed by hex PID, connection
+    /// records in open order, periodic snapshots).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("client", self.client.as_str());
+        obj.insert("dht_server", self.dht_server);
+        obj.insert("started_at", record::time_to_json(self.started_at));
+        obj.insert("ended_at", record::time_to_json(self.ended_at));
+        let mut peers = Json::object();
+        for (peer, rec) in &self.peers {
+            peers.insert(peer.to_hex(), rec.to_json());
+        }
+        obj.insert("peers", peers);
+        obj.insert(
+            "connections",
+            Json::Array(self.connections.iter().map(|c| c.to_json()).collect()),
+        );
+        obj.insert(
+            "snapshots",
+            Json::Array(self.snapshots.iter().map(|s| s.to_json()).collect()),
+        );
+        obj
+    }
+
+    /// Rebuilds a data set from its [`Json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the document does not match the export schema.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut peers = BTreeMap::new();
+        let entries = v
+            .field("peers")?
+            .as_object()
+            .ok_or_else(|| JsonError::schema("`peers` must be an object"))?;
+        for (hex, rec) in entries {
+            let peer = PeerId::from_hex(hex)
+                .ok_or_else(|| JsonError::schema("peer key must be a 64-char hex string"))?;
+            let record = PeerRecord::from_json(rec)?;
+            if record.peer != peer {
+                return Err(JsonError::schema("peer key does not match record"));
+            }
+            peers.insert(peer, record);
+        }
+        let connections = v
+            .array_field("connections")?
+            .iter()
+            .map(ConnectionRecord::from_json)
+            .collect::<Result<_, _>>()?;
+        let snapshots = v
+            .array_field("snapshots")?
+            .iter()
+            .map(SnapshotRecord::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(MeasurementDataset {
+            client: v.str_field("client")?.to_string(),
+            dht_server: v.bool_field("dht_server")?,
+            started_at: record::time_from_json(v.field("started_at")?)?,
+            ended_at: record::time_from_json(v.field("ended_at")?)?,
+            peers,
+            connections,
+            snapshots,
+        })
+    }
+
     /// Serialises the data set to pretty-printed JSON.
     ///
     /// # Errors
     ///
-    /// Returns an error if serialisation fails (it cannot for this type) or
-    /// the writer reports an I/O error.
-    pub fn write_json<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
-        serde_json::to_writer_pretty(writer, self)
+    /// Returns an error if the writer reports an I/O error.
+    pub fn write_json<W: Write>(&self, mut writer: W) -> Result<(), std::io::Error> {
+        writer.write_all(self.to_json().to_string_pretty().as_bytes())
     }
 
     /// Reads a data set back from JSON.
     ///
     /// # Errors
     ///
-    /// Returns an error if the input is not valid JSON for this schema.
-    pub fn read_json<R: Read>(reader: R) -> Result<Self, serde_json::Error> {
-        serde_json::from_reader(reader)
+    /// Returns an error if reading fails or the input is not valid JSON for
+    /// this schema.
+    pub fn read_json<R: Read>(mut reader: R) -> Result<Self, JsonError> {
+        let mut text = String::new();
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| JsonError::schema(format!("read error: {e}")))?;
+        Self::from_json_str(&text)
     }
 
     /// Serialises to a JSON string.
     pub fn to_json_string(&self) -> String {
-        serde_json::to_string(self).expect("dataset serialisation cannot fail")
+        self.to_json().to_string_compact()
     }
 
     /// Parses a data set from a JSON string.
@@ -147,8 +217,8 @@ impl MeasurementDataset {
     /// # Errors
     ///
     /// Returns an error if the input is not valid JSON for this schema.
-    pub fn from_json_str(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json_str(s: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(s)?)
     }
 }
 

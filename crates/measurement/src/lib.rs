@@ -17,6 +17,9 @@
 //! * [`MeasurementCampaign`] / [`run_period`] tie everything together: build
 //!   a scenario, run the simulation, feed every monitor and return the
 //!   complete data for one measurement period.
+//! * [`sweep`] scales that to whole grids of campaigns: periods × scales ×
+//!   seeds × observer configurations run in parallel with deterministic
+//!   per-cell seed derivation, aggregated into cross-seed statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +29,11 @@ pub mod dataset;
 pub mod monitor;
 pub mod record;
 pub mod runner;
+pub mod sweep;
 
 pub use crawler::{ActiveCrawler, CrawlSnapshot, CrawlSummary};
 pub use dataset::MeasurementDataset;
 pub use monitor::{GoIpfsMonitor, HydraMonitor};
 pub use record::{ConnectionRecord, MetadataChangeRecord, PeerRecord, SnapshotRecord};
-pub use runner::{run_period, run_scenario, MeasurementCampaign};
+pub use runner::{run_built, run_period, run_scenario, MeasurementCampaign};
+pub use sweep::{run_sweep, ObserverTweak, SweepGrid, SweepReport, SweepRunner};

@@ -6,12 +6,12 @@
 //! close timestamps). These types mirror that export format; everything the
 //! `analysis` crate computes is a function of these records.
 
+use jsonio::{Json, JsonError};
 use p2pmodel::{CloseReason, ConnectionId, Direction, Multiaddr, PeerId};
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimTime};
 
 /// A change to a peer's recorded metadata, with the observation timestamp.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetadataChangeRecord {
     /// When the change was observed.
     pub at: SimTime,
@@ -24,7 +24,7 @@ pub struct MetadataChangeRecord {
 }
 
 /// Everything recorded about one peer ID.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PeerRecord {
     /// The peer ID.
     pub peer: PeerId,
@@ -88,7 +88,7 @@ impl PeerRecord {
 }
 
 /// One observed connection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConnectionRecord {
     /// Connection identifier.
     pub id: ConnectionId,
@@ -131,7 +131,7 @@ impl ConnectionRecord {
 
 /// A periodic snapshot of the client's state (every 30 s for go-ipfs, every
 /// minute for hydra heads), the basis of Fig. 5 and Fig. 6.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SnapshotRecord {
     /// Snapshot timestamp.
     pub at: SimTime,
@@ -141,6 +141,221 @@ pub struct SnapshotRecord {
     pub known_pids: usize,
     /// Number of peer IDs currently connected.
     pub connected_pids: usize,
+}
+
+// ---- JSON codecs -----------------------------------------------------------
+//
+// The build environment has no serde, so the export format is implemented
+// explicitly against `jsonio`. Leaf conventions: timestamps are integer
+// milliseconds, peer IDs are 64-char hex strings, multiaddresses use their
+// canonical `/ip4/…` text form, and enums use their `Display` tokens.
+
+pub(crate) fn time_to_json(t: SimTime) -> Json {
+    Json::UInt(t.as_millis())
+}
+
+pub(crate) fn time_from_json(v: &Json) -> Result<SimTime, JsonError> {
+    v.as_u64()
+        .map(SimTime::from_millis)
+        .ok_or_else(|| JsonError::schema("timestamp must be integer milliseconds"))
+}
+
+pub(crate) fn peer_to_json(peer: &PeerId) -> Json {
+    Json::Str(peer.to_hex())
+}
+
+pub(crate) fn peer_from_json(v: &Json) -> Result<PeerId, JsonError> {
+    v.as_str()
+        .and_then(PeerId::from_hex)
+        .ok_or_else(|| JsonError::schema("peer id must be a 64-char hex string"))
+}
+
+pub(crate) fn addr_to_json(addr: &Multiaddr) -> Json {
+    Json::Str(addr.to_string())
+}
+
+pub(crate) fn addr_from_json(v: &Json) -> Result<Multiaddr, JsonError> {
+    v.as_str()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| JsonError::schema("invalid multiaddress"))
+}
+
+fn direction_to_json(direction: Direction) -> Json {
+    Json::Str(direction.to_string())
+}
+
+fn direction_from_json(v: &Json) -> Result<Direction, JsonError> {
+    v.as_str()
+        .ok_or_else(|| JsonError::schema("direction must be a string"))?
+        .parse()
+        .map_err(JsonError::schema)
+}
+
+fn reason_to_json(reason: Option<CloseReason>) -> Json {
+    match reason {
+        Some(reason) => Json::Str(reason.to_string()),
+        None => Json::Null,
+    }
+}
+
+fn reason_from_json(v: &Json) -> Result<Option<CloseReason>, JsonError> {
+    match v {
+        Json::Null => Ok(None),
+        Json::Str(s) => s.parse().map(Some).map_err(JsonError::schema),
+        _ => Err(JsonError::schema("close reason must be a string or null")),
+    }
+}
+
+impl MetadataChangeRecord {
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("at", time_to_json(self.at));
+        obj.insert("field", self.field.as_str());
+        obj.insert("old", self.old.as_str());
+        obj.insert("new", self.new.as_str());
+        obj
+    }
+
+    /// Parses a record from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when a field is missing or has the wrong type.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(MetadataChangeRecord {
+            at: time_from_json(v.field("at")?)?,
+            field: v.str_field("field")?.to_string(),
+            old: v.str_field("old")?.to_string(),
+            new: v.str_field("new")?.to_string(),
+        })
+    }
+}
+
+impl PeerRecord {
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("peer", peer_to_json(&self.peer));
+        obj.insert("agent", self.agent.as_str());
+        obj.insert(
+            "protocols",
+            Json::Array(self.protocols.iter().map(|p| Json::Str(p.clone())).collect()),
+        );
+        obj.insert(
+            "addrs",
+            Json::Array(self.addrs.iter().map(addr_to_json).collect()),
+        );
+        obj.insert("first_seen", time_to_json(self.first_seen));
+        obj.insert("last_seen", time_to_json(self.last_seen));
+        obj.insert("dht_server", self.dht_server);
+        obj.insert("ever_dht_server", self.ever_dht_server);
+        obj.insert("metadata_known", self.metadata_known);
+        obj.insert(
+            "changes",
+            Json::Array(self.changes.iter().map(|c| c.to_json()).collect()),
+        );
+        obj
+    }
+
+    /// Parses a record from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when a field is missing or has the wrong type.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let protocols = v
+            .array_field("protocols")?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| JsonError::schema("protocol must be a string"))
+            })
+            .collect::<Result<_, _>>()?;
+        let addrs = v
+            .array_field("addrs")?
+            .iter()
+            .map(addr_from_json)
+            .collect::<Result<_, _>>()?;
+        let changes = v
+            .array_field("changes")?
+            .iter()
+            .map(MetadataChangeRecord::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(PeerRecord {
+            peer: peer_from_json(v.field("peer")?)?,
+            agent: v.str_field("agent")?.to_string(),
+            protocols,
+            addrs,
+            first_seen: time_from_json(v.field("first_seen")?)?,
+            last_seen: time_from_json(v.field("last_seen")?)?,
+            dht_server: v.bool_field("dht_server")?,
+            ever_dht_server: v.bool_field("ever_dht_server")?,
+            metadata_known: v.bool_field("metadata_known")?,
+            changes,
+        })
+    }
+}
+
+impl ConnectionRecord {
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("id", self.id.0);
+        obj.insert("peer", peer_to_json(&self.peer));
+        obj.insert("direction", direction_to_json(self.direction));
+        obj.insert("remote_addr", addr_to_json(&self.remote_addr));
+        obj.insert("opened_at", time_to_json(self.opened_at));
+        obj.insert("closed_at", time_to_json(self.closed_at));
+        obj.insert("open_at_end", self.open_at_end);
+        obj.insert("close_reason", reason_to_json(self.close_reason));
+        obj
+    }
+
+    /// Parses a record from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when a field is missing or has the wrong type.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ConnectionRecord {
+            id: ConnectionId(v.u64_field("id")?),
+            peer: peer_from_json(v.field("peer")?)?,
+            direction: direction_from_json(v.field("direction")?)?,
+            remote_addr: addr_from_json(v.field("remote_addr")?)?,
+            opened_at: time_from_json(v.field("opened_at")?)?,
+            closed_at: time_from_json(v.field("closed_at")?)?,
+            open_at_end: v.bool_field("open_at_end")?,
+            close_reason: reason_from_json(v.field("close_reason")?)?,
+        })
+    }
+}
+
+impl SnapshotRecord {
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("at", time_to_json(self.at));
+        obj.insert("open_connections", self.open_connections);
+        obj.insert("known_pids", self.known_pids);
+        obj.insert("connected_pids", self.connected_pids);
+        obj
+    }
+
+    /// Parses a record from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when a field is missing or has the wrong type.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SnapshotRecord {
+            at: time_from_json(v.field("at")?)?,
+            open_connections: v.u64_field("open_connections")? as usize,
+            known_pids: v.u64_field("known_pids")? as usize,
+            connected_pids: v.u64_field("connected_pids")? as usize,
+        })
+    }
 }
 
 #[cfg(test)]

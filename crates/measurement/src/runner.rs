@@ -61,7 +61,18 @@ impl MeasurementCampaign {
 
 /// Runs a fully specified scenario.
 pub fn run_scenario(scenario: Scenario) -> MeasurementCampaign {
-    let run = scenario.build();
+    run_built(scenario.build())
+}
+
+/// Runs a scenario that has already been materialised into a configuration
+/// and a population.
+///
+/// This is the entry point for callers that tweak the generated
+/// [`netsim::NetworkConfig`] before running — the sweep subsystem uses it to
+/// vary observer configurations (connection-manager limits, maintenance
+/// cadence) across grid cells without touching the scenario definitions.
+pub fn run_built(run: population::ScenarioRun) -> MeasurementCampaign {
+    let scenario = run.scenario;
     let duration = run.config.duration;
     let output = netsim::Network::new(run.config, run.population.specs).run();
 

@@ -1,7 +1,6 @@
 //! Simulation and observer configuration.
 
 use p2pmodel::{ConnLimits, IpAddress, Multiaddr, PeerId};
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimTime};
 
 /// Whether a node participates in Kademlia DHT routing.
@@ -9,7 +8,7 @@ use simclock::{SimDuration, SimTime};
 /// A DHT-Server answers routing queries and is therefore discoverable and
 /// attractive to other peers; a DHT-Client is neither, which is why the
 /// paper's P3/P4 client deployment sees far fewer and shorter connections.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DhtRole {
     /// Participates in DHT routing (`/ipfs/kad/1.0.0` announced).
     Server,
@@ -34,7 +33,7 @@ impl std::fmt::Display for DhtRole {
 }
 
 /// Configuration of a single passive measurement node inside the simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ObserverSpec {
     /// Human-readable name used in logs and reports (e.g. `"go-ipfs"`,
     /// `"hydra-h0"`).
@@ -93,7 +92,7 @@ impl ObserverSpec {
 }
 
 /// Global configuration of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkConfig {
     /// Seed for every stochastic decision in the run.
     pub seed: u64,

@@ -80,6 +80,13 @@ struct OnlineServers {
 }
 
 impl OnlineServers {
+    fn with_capacity(n: usize) -> Self {
+        OnlineServers {
+            list: Vec::with_capacity(n),
+            pos: HashMap::with_capacity(n),
+        }
+    }
+
     fn insert(&mut self, peer: usize) {
         if self.pos.contains_key(&peer) {
             return;
@@ -188,18 +195,29 @@ impl Runner {
         let observers = config
             .observers
             .iter()
-            .map(|spec| ObserverState {
-                connmgr: ConnectionManager::new(spec.limits),
-                log: ObserverLog::new(
+            .map(|spec| {
+                // Pre-size the per-connection maps for the steady state the
+                // connection manager converges to: HighWater open connections
+                // plus the dials that can arrive before the next trim pass.
+                let expected_conns = spec.limits.high_water + spec.limits.high_water / 4 + 16;
+                let mut log = ObserverLog::new(
                     spec.name.clone(),
                     spec.peer_id,
                     spec.role.is_server(),
                     SimTime::ZERO,
-                ),
-                conn_peer: HashMap::new(),
-                peer_conn: HashMap::new(),
-                outbound_open: 0,
-                spec: spec.clone(),
+                );
+                // Every open/close pair is two log entries; reserve for one
+                // full turn-over of the connection table up front so the hot
+                // loop mostly appends without reallocating.
+                log.events.reserve(expected_conns * 4);
+                ObserverState {
+                    connmgr: ConnectionManager::new(spec.limits),
+                    log,
+                    conn_peer: HashMap::with_capacity(expected_conns),
+                    peer_conn: HashMap::with_capacity(expected_conns),
+                    outbound_open: 0,
+                    spec: spec.clone(),
+                }
             })
             .collect();
         let ground_truth = GroundTruth {
@@ -207,8 +225,11 @@ impl Runner {
                 .iter()
                 .map(|p| (p.peer_id, p.is_dht_server()))
                 .collect(),
-            events: Vec::new(),
+            // Every peer produces at least one online event; churny
+            // populations produce a few sessions each.
+            events: Vec::with_capacity(peers.len() * 2),
         };
+        let population = peers.len();
         Runner {
             end,
             rng,
@@ -216,7 +237,7 @@ impl Runner {
             peers,
             peer_states,
             observers,
-            online_servers: OnlineServers::default(),
+            online_servers: OnlineServers::with_capacity(population),
             ground_truth,
             next_conn_id: 0,
         }
@@ -231,44 +252,55 @@ impl Runner {
     }
 
     fn schedule_initial_events(&mut self) {
+        // Large populations schedule one session start plus all metadata
+        // changes per peer up front — collect everything and heapify once via
+        // `schedule_batch` instead of paying O(log n) per event. The batch is
+        // built in exactly the order the events used to be scheduled in, so
+        // FIFO tie-breaking (and therefore every trace) is unchanged.
+        let change_count: usize = self.peers.iter().map(|p| p.changes.len()).sum();
+        let mut batch: Vec<(SimTime, SimEvent)> =
+            Vec::with_capacity(self.peers.len() + change_count + self.observers.len());
         for idx in 0..self.peers.len() {
             let (start, session_end) = {
                 let spec = &self.peers[idx];
                 spec.session.first_session(&mut self.rng)
             };
             self.peer_states[idx].next_session_end = session_end;
-            self.queue.schedule(start, SimEvent::PeerOnline(idx));
+            batch.push((start, SimEvent::PeerOnline(idx)));
 
             for (change_idx, change) in self.peers[idx].changes.iter().enumerate() {
-                self.queue.schedule(
+                batch.push((
                     change.at,
                     SimEvent::Metadata {
                         peer: idx,
                         change_idx,
                     },
-                );
+                ));
             }
         }
         for obs_idx in 0..self.observers.len() {
             let interval = self.observers[obs_idx].spec.maintenance_interval;
-            self.queue
-                .schedule(SimTime::ZERO + interval, SimEvent::Maintenance { observer: obs_idx });
+            batch.push((
+                SimTime::ZERO + interval,
+                SimEvent::Maintenance { observer: obs_idx },
+            ));
             // Gossip discovery: some peers become Peerstore entries without a
             // connection, at a random point of the run.
             for peer_idx in 0..self.peers.len() {
                 let visibility = self.peers[peer_idx].gossip_visibility;
                 if visibility > 0.0 && self.rng.chance(visibility) {
                     let at = SimTime::from_millis(self.rng.uniform_u64(0, self.end.as_millis().max(1)));
-                    self.queue.schedule(
+                    batch.push((
                         at,
                         SimEvent::GossipDiscover {
                             peer: peer_idx,
                             observer: obs_idx,
                         },
-                    );
+                    ));
                 }
             }
         }
+        self.queue.schedule_batch(batch);
     }
 
     fn handle(&mut self, now: SimTime, event: SimEvent) {

@@ -14,11 +14,10 @@
 use p2pmodel::{
     CloseReason, ConnectionId, ConnectionInfo, Direction, IdentifyInfo, Multiaddr, PeerId,
 };
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimTime};
 
 /// One event observed by a measurement node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ObservedEvent {
     /// A connection to `peer` was opened.
     ConnectionOpened {
@@ -90,7 +89,7 @@ impl ObservedEvent {
 }
 
 /// The complete observation log of one measurement node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ObserverLog {
     /// The observer's name (from its [`crate::ObserverSpec`]).
     pub observer: String,
@@ -178,7 +177,7 @@ impl ObserverLog {
 
 /// A ground-truth event: something that actually happened in the simulated
 /// network, independent of whether any observer saw it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GroundTruthEvent {
     /// A peer came online.
     PeerOnline {
@@ -217,7 +216,7 @@ impl GroundTruthEvent {
 }
 
 /// What actually happened in the simulated network.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroundTruth {
     /// All peers that exist in the population, with their initial DHT role.
     pub peers: Vec<(PeerId, bool)>,

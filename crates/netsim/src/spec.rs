@@ -8,11 +8,10 @@
 //! reports (agents, protocols, churn classes, hydra co-location, …).
 
 use p2pmodel::{AgentVersion, IdentifyInfo, Multiaddr, PeerId, ProtocolSet};
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimRng, SimTime};
 
 /// When, and for how long, a peer is online.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SessionPattern {
     /// Online for the entire simulation (the stable core: long-running
     /// servers, hydra heads, infrastructure nodes).
@@ -89,7 +88,7 @@ impl SessionPattern {
 
 /// How a remote peer behaves towards an observer: whether and how often it
 /// dials, and how long it keeps a connection before trimming it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DialBehavior {
     /// Probability that the peer ever dials a DHT-Server observer during a
     /// session. DHT-Servers are discoverable via routing, so this is high
@@ -173,7 +172,7 @@ impl DialBehavior {
 
 /// A change to a remote peer's announced metadata, applied at a scheduled
 /// time (version upgrades/downgrades, DHT role switches, autonat flapping).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MetadataChange {
     /// Replace the agent version string.
     SetAgent(AgentVersion),
@@ -186,7 +185,7 @@ pub enum MetadataChange {
 }
 
 /// A metadata change scheduled for a specific simulated time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledChange {
     /// When the change takes effect.
     pub at: SimTime,
@@ -195,7 +194,7 @@ pub struct ScheduledChange {
 }
 
 /// Everything the simulator needs to know about one remote peer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RemotePeerSpec {
     /// The peer's identifier.
     pub peer_id: PeerId,

@@ -9,12 +9,11 @@
 //! and *dirty* builds (a dirty build contains uncommitted changes relative to
 //! the release, like the paper's own instrumented clients).
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// The release flavor of a go-ipfs build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VersionFlavor {
     /// A clean release build.
     Main,
@@ -33,7 +32,7 @@ impl fmt::Display for VersionFlavor {
 
 /// A semantic version number (`major.minor.patch` plus optional pre-release
 /// tag such as `-dev` or `-rc1`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SemVer {
     /// Major component.
     pub major: u32,
@@ -124,7 +123,7 @@ impl fmt::Display for SemVer {
 }
 
 /// A parsed agent version string.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AgentVersion {
     /// A go-ipfs (kubo) client: version, optional commit hash and flavor.
     GoIpfs {
@@ -277,7 +276,7 @@ impl fmt::Display for AgentVersion {
 }
 
 /// The direction of a go-ipfs version transition (Table III, left column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VersionChangeKind {
     /// The version number increased.
     Upgrade,
@@ -298,7 +297,7 @@ impl fmt::Display for VersionChangeKind {
 }
 
 /// A classified go-ipfs agent-version transition (Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VersionChange {
     /// Upgrade, downgrade or commit-only change.
     pub kind: VersionChangeKind,
@@ -324,7 +323,7 @@ impl VersionChange {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
 
     #[test]
     fn parses_release_and_dev_versions() {
@@ -428,30 +427,53 @@ mod tests {
         assert!(go.classify_change(&go.clone()).is_none());
     }
 
-    proptest! {
-        #[test]
-        fn semver_display_parse_roundtrip(major in 0u32..30, minor in 0u32..30, patch in 0u32..30, dev in any::<bool>()) {
-            let v = if dev {
+    // Seeded randomised tests (stand-ins for the original proptest
+    // strategies; the offline build has no proptest).
+
+    #[test]
+    fn semver_display_parse_roundtrip() {
+        let mut rng = simclock::SimRng::seed_from(0xa6e1);
+        for _ in 0..256 {
+            let (major, minor, patch) = (
+                rng.uniform_u64(0, 30) as u32,
+                rng.uniform_u64(0, 30) as u32,
+                rng.uniform_u64(0, 30) as u32,
+            );
+            let v = if rng.chance(0.5) {
                 SemVer::with_pre(major, minor, patch, "dev")
             } else {
                 SemVer::new(major, minor, patch)
             };
-            prop_assert_eq!(SemVer::parse(&v.to_string()), Some(v));
+            assert_eq!(SemVer::parse(&v.to_string()), Some(v));
         }
+    }
 
-        #[test]
-        fn go_ipfs_display_parse_roundtrip(minor in 0u32..30, patch in 0u32..5, dirty in any::<bool>(), has_commit in any::<bool>()) {
+    #[test]
+    fn go_ipfs_display_parse_roundtrip() {
+        let mut rng = simclock::SimRng::seed_from(0xa6e2);
+        for _ in 0..256 {
+            let minor = rng.uniform_u64(0, 30) as u32;
+            let patch = rng.uniform_u64(0, 5) as u32;
+            let dirty = rng.chance(0.5);
+            let has_commit = rng.chance(0.5);
+            // A dirty flavor without a commit cannot be distinguished after
+            // formatting ("-dirty" needs the commit slot), so skip that corner.
+            if dirty && !has_commit {
+                continue;
+            }
             let flavor = if dirty { VersionFlavor::Dirty } else { VersionFlavor::Main };
             let commit = if has_commit { Some("0c2f9d5") } else { None };
             let agent = AgentVersion::go_ipfs(SemVer::new(0, minor, patch), commit, flavor);
-            // A dirty flavor without a commit cannot be distinguished after
-            // formatting ("-dirty" needs the commit slot), so skip that corner.
-            prop_assume!(has_commit || !dirty);
-            prop_assert_eq!(AgentVersion::parse(&agent.to_string()), agent);
+            assert_eq!(AgentVersion::parse(&agent.to_string()), agent);
         }
+    }
 
-        #[test]
-        fn classification_is_antisymmetric(a_minor in 0u32..20, b_minor in 0u32..20) {
+    #[test]
+    fn classification_is_antisymmetric() {
+        let mut rng = simclock::SimRng::seed_from(0xa6e3);
+        for _ in 0..256 {
+            let a_minor = rng.uniform_u64(0, 20) as u32;
+            let b_minor = rng.uniform_u64(0, 20) as u32;
             let a = AgentVersion::go_ipfs(SemVer::new(0, a_minor, 0), Some("aaa"), VersionFlavor::Main);
             let b = AgentVersion::go_ipfs(SemVer::new(0, b_minor, 0), Some("bbb"), VersionFlavor::Main);
             let ab = a.classify_change(&b).map(|c| c.kind);
@@ -460,9 +482,9 @@ mod tests {
                 (Some(VersionChangeKind::Upgrade), Some(VersionChangeKind::Downgrade)) => {}
                 (Some(VersionChangeKind::Downgrade), Some(VersionChangeKind::Upgrade)) => {}
                 (Some(VersionChangeKind::Change), Some(VersionChangeKind::Change)) => {
-                    prop_assert_eq!(a_minor, b_minor);
+                    assert_eq!(a_minor, b_minor);
                 }
-                other => prop_assert!(false, "unexpected pair {:?}", other),
+                other => panic!("unexpected pair {other:?}"),
             }
         }
     }

@@ -10,12 +10,11 @@
 
 use crate::multiaddr::Multiaddr;
 use crate::peer_id::PeerId;
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimTime};
 use std::fmt;
 
 /// Identifier of a single connection, unique within a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnectionId(pub u64);
 
 impl fmt::Display for ConnectionId {
@@ -25,7 +24,7 @@ impl fmt::Display for ConnectionId {
 }
 
 /// Direction of a connection relative to the observing node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// The remote peer dialed us.
     Inbound,
@@ -42,8 +41,22 @@ impl fmt::Display for Direction {
     }
 }
 
+impl std::str::FromStr for Direction {
+    type Err = String;
+
+    /// Parses the tokens produced by the `Display` impl (the JSON export
+    /// format of the measurement datasets).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "inbound" => Ok(Direction::Inbound),
+            "outbound" => Ok(Direction::Outbound),
+            other => Err(format!("unknown direction `{other}`")),
+        }
+    }
+}
+
 /// Why a connection ended (simulation ground truth).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CloseReason {
     /// The observing node's connection manager trimmed the connection.
     TrimmedLocal,
@@ -68,8 +81,25 @@ impl fmt::Display for CloseReason {
     }
 }
 
+impl std::str::FromStr for CloseReason {
+    type Err = String;
+
+    /// Parses the tokens produced by the `Display` impl (the JSON export
+    /// format of the measurement datasets). Keep the two in sync when adding
+    /// variants.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "trimmed-local" => Ok(CloseReason::TrimmedLocal),
+            "trimmed-remote" => Ok(CloseReason::TrimmedRemote),
+            "peer-left" => Ok(CloseReason::PeerLeft),
+            "measurement-end" => Ok(CloseReason::MeasurementEnd),
+            other => Err(format!("unknown close reason `{other}`")),
+        }
+    }
+}
+
 /// Lifecycle state of a connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConnectionState {
     /// The connection is currently open.
     Open,
@@ -78,7 +108,7 @@ pub enum ConnectionState {
 }
 
 /// A single observed connection, as recorded by a measurement node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConnectionInfo {
     /// Connection identifier.
     pub id: ConnectionId,
@@ -190,6 +220,23 @@ mod tests {
         conn.close(SimTime::from_secs(99), CloseReason::TrimmedLocal);
         assert_eq!(conn.closed_at, Some(SimTime::from_secs(10)));
         assert_eq!(conn.close_reason(), Some(CloseReason::PeerLeft));
+    }
+
+    #[test]
+    fn direction_and_reason_display_parse_roundtrip() {
+        for d in [Direction::Inbound, Direction::Outbound] {
+            assert_eq!(d.to_string().parse::<Direction>(), Ok(d));
+        }
+        for r in [
+            CloseReason::TrimmedLocal,
+            CloseReason::TrimmedRemote,
+            CloseReason::PeerLeft,
+            CloseReason::MeasurementEnd,
+        ] {
+            assert_eq!(r.to_string().parse::<CloseReason>(), Ok(r));
+        }
+        assert!("sideways".parse::<Direction>().is_err());
+        assert!("gremlins".parse::<CloseReason>().is_err());
     }
 
     #[test]

@@ -17,13 +17,12 @@
 
 use crate::connection::ConnectionId;
 use crate::peer_id::PeerId;
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// Connection-manager thresholds (the `Swarm.ConnMgr` section of the go-ipfs
 /// configuration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConnLimits {
     /// Trim down to this many connections.
     pub low_water: usize,
@@ -74,7 +73,7 @@ impl Default for ConnLimits {
 }
 
 /// A tracked connection inside the manager.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Tracked {
     peer: PeerId,
     opened_at: SimTime,
@@ -83,7 +82,7 @@ struct Tracked {
 }
 
 /// The outcome of a trim pass: the connections that should be closed.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrimDecision {
     /// Connections to close, least valuable first.
     pub to_close: Vec<ConnectionId>,
@@ -260,7 +259,7 @@ impl ConnectionManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
 
     fn manager(low: usize, high: usize, grace_secs: u64) -> ConnectionManager {
         ConnectionManager::new(
@@ -386,37 +385,41 @@ mod tests {
         assert_eq!(build(), build());
     }
 
-    proptest! {
-        #[test]
-        fn trim_never_goes_below_low_water_or_above_high_water(
-            n in 0u64..200,
-            low in 0usize..50,
-            extra in 0usize..50,
-        ) {
+    #[test]
+    fn trim_never_goes_below_low_water_or_above_high_water() {
+        let mut rng = simclock::SimRng::seed_from(0xc301);
+        for _ in 0..128 {
+            let n = rng.uniform_u64(0, 200);
+            let low = rng.index(50);
+            let extra = rng.index(50);
             let high = low + extra;
             let mut mgr = manager(low, high, 0);
             fill(&mut mgr, n, SimTime::ZERO);
             let before = mgr.connection_count();
             let decision = mgr.maybe_trim(SimTime::from_secs(1000));
             let after = mgr.connection_count();
-            prop_assert_eq!(before - decision.len(), after);
+            assert_eq!(before - decision.len(), after);
             if before > high {
                 // All candidates were eligible, so the manager reaches
                 // exactly LowWater.
-                prop_assert_eq!(after, low);
+                assert_eq!(after, low);
             } else {
-                prop_assert!(decision.is_empty());
-                prop_assert_eq!(after, before);
+                assert!(decision.is_empty());
+                assert_eq!(after, before);
             }
         }
+    }
 
-        #[test]
-        fn trimmed_connections_are_no_longer_tracked(n in 1u64..100) {
+    #[test]
+    fn trimmed_connections_are_no_longer_tracked() {
+        let mut rng = simclock::SimRng::seed_from(0xc302);
+        for _ in 0..64 {
+            let n = rng.uniform_u64(1, 100);
             let mut mgr = manager(0, 0, 0);
             fill(&mut mgr, n, SimTime::ZERO);
             let decision = mgr.maybe_trim(SimTime::from_secs(10));
             for id in &decision.to_close {
-                prop_assert!(!mgr.is_tracked(*id));
+                assert!(!mgr.is_tracked(*id));
             }
         }
     }

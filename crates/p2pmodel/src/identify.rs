@@ -9,7 +9,6 @@
 use crate::agent::AgentVersion;
 use crate::multiaddr::Multiaddr;
 use crate::protocol::ProtocolSet;
-use serde::{Deserialize, Serialize};
 
 /// The identify payload announced by a peer.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(info.is_dht_server());
 /// assert!(info.agent.is_go_ipfs());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IdentifyInfo {
     /// The agent version string (Fig. 3 groups peers by this).
     pub agent: AgentVersion,

@@ -8,7 +8,6 @@
 //! with the go-libp2p default bucket size of 20.
 
 use crate::peer_id::{PeerId, PEER_ID_BYTES};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Default Kademlia bucket size used by go-libp2p (`k = 20`).
@@ -18,7 +17,7 @@ pub const DEFAULT_BUCKET_SIZE: usize = 20;
 pub const KEY_BITS: u32 = (PEER_ID_BYTES as u32) * 8;
 
 /// XOR distance between two peer IDs (a 256-bit unsigned value).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Distance([u8; PEER_ID_BYTES]);
 
 impl Distance {
@@ -76,7 +75,7 @@ impl fmt::Debug for Distance {
 
 /// A single k-bucket holding up to `capacity` peers at a given common-prefix
 /// length, ordered from least- to most-recently seen.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KBucket {
     peers: Vec<PeerId>,
     capacity: usize,
@@ -179,7 +178,7 @@ impl KBucket {
 /// assert!(closest.len() <= 20);
 /// assert!(!closest.is_empty());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RoutingTable {
     local: PeerId,
     buckets: Vec<KBucket>,
@@ -314,7 +313,7 @@ impl RoutingTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
     use simclock::SimRng;
 
     fn random_ids(n: usize, seed: u64) -> Vec<PeerId> {
@@ -435,9 +434,16 @@ mod tests {
         assert_eq!(table.bucket_sizes().iter().sum::<usize>(), table.len());
     }
 
-    proptest! {
-        #[test]
-        fn insert_is_idempotent_for_membership(labels in proptest::collection::vec(1u64..10_000, 1..100)) {
+    fn random_labels(rng: &mut simclock::SimRng, max_len: usize, high: u64) -> Vec<u64> {
+        let len = rng.uniform_u64(1, max_len as u64) as usize;
+        (0..len).map(|_| rng.uniform_u64(1, high)).collect()
+    }
+
+    #[test]
+    fn insert_is_idempotent_for_membership() {
+        let mut rng = simclock::SimRng::seed_from(0x4a01);
+        for _ in 0..32 {
+            let labels = random_labels(&mut rng, 100, 10_000);
             let local = PeerId::derived(0);
             let mut table = RoutingTable::new(local);
             for &l in &labels {
@@ -451,11 +457,16 @@ mod tests {
                     table.insert(peer);
                 }
             }
-            prop_assert_eq!(table.len(), len_before);
+            assert_eq!(table.len(), len_before);
         }
+    }
 
-        #[test]
-        fn closest_is_monotone_in_count(count_a in 1usize..30, count_b in 1usize..30) {
+    #[test]
+    fn closest_is_monotone_in_count() {
+        let mut rng = simclock::SimRng::seed_from(0x4a02);
+        for _ in 0..32 {
+            let count_a = rng.uniform_u64(1, 30) as usize;
+            let count_b = rng.uniform_u64(1, 30) as usize;
             let local = PeerId::derived(0);
             let mut table = RoutingTable::new(local);
             for p in random_ids(200, 5) {
@@ -464,11 +475,15 @@ mod tests {
             let target = PeerId::derived(12345);
             let small = table.closest(&target, count_a.min(count_b));
             let large = table.closest(&target, count_a.max(count_b));
-            prop_assert_eq!(&large[..small.len()], &small[..]);
+            assert_eq!(&large[..small.len()], &small[..]);
         }
+    }
 
-        #[test]
-        fn no_bucket_exceeds_capacity(labels in proptest::collection::vec(1u64..50_000, 1..400)) {
+    #[test]
+    fn no_bucket_exceeds_capacity() {
+        let mut rng = simclock::SimRng::seed_from(0x4a03);
+        for _ in 0..16 {
+            let labels = random_labels(&mut rng, 400, 50_000);
             let local = PeerId::derived(0);
             let table_size = 8;
             let mut table = RoutingTable::with_bucket_size(local, table_size);
@@ -476,7 +491,7 @@ mod tests {
                 table.insert(PeerId::derived(l));
             }
             for size in table.bucket_sizes() {
-                prop_assert!(size <= table_size);
+                assert!(size <= table_size);
             }
         }
     }

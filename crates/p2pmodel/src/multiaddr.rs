@@ -7,7 +7,6 @@
 //! from the same IP are likely the same operator (hydra heads, NATed users,
 //! rotating PIDs), which is one of the two network-size estimators.
 
-use serde::{Deserialize, Serialize};
 use simclock::SimRng;
 use std::fmt;
 use std::str::FromStr;
@@ -16,7 +15,7 @@ use std::str::FromStr;
 ///
 /// The simulation only needs equality/grouping semantics and a printable
 /// form, not real routing, so the address is stored as a plain integer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum IpAddress {
     /// An IPv4 address.
     V4(u32),
@@ -78,7 +77,7 @@ impl fmt::Display for IpAddress {
 }
 
 /// The transport part of a multiaddress.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Transport {
     /// Plain TCP.
     Tcp,
@@ -118,7 +117,7 @@ impl fmt::Display for Transport {
 /// assert_eq!(addr.to_string(), "/ip4/1.2.3.4/tcp/4001");
 /// assert_eq!("/ip4/1.2.3.4/tcp/4001".parse::<Multiaddr>().unwrap(), addr);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Multiaddr {
     ip: IpAddress,
     transport: Transport,
@@ -245,7 +244,7 @@ impl FromStr for Multiaddr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
 
     #[test]
     fn ipv4_display_is_dotted_quad() {
@@ -316,19 +315,29 @@ mod tests {
         assert_eq!(parsed, addr);
     }
 
-    proptest! {
-        #[test]
-        fn display_parse_roundtrip_v4(raw in any::<u32>(), port in 1u16.., transport_idx in 0usize..4) {
-            let addr = Multiaddr::new(IpAddress::V4(raw), Transport::ALL[transport_idx], port);
+    #[test]
+    fn display_parse_roundtrip_v4() {
+        let mut rng = SimRng::seed_from(0x3a01);
+        for _ in 0..256 {
+            let raw = rng.raw_u64() as u32;
+            let port = rng.uniform_u64(1, u16::MAX as u64 + 1) as u16;
+            let transport = Transport::ALL[rng.index(4)];
+            let addr = Multiaddr::new(IpAddress::V4(raw), transport, port);
             let parsed: Multiaddr = addr.to_string().parse().unwrap();
-            prop_assert_eq!(parsed, addr);
+            assert_eq!(parsed, addr);
         }
+    }
 
-        #[test]
-        fn grouping_by_ip_ignores_port_and_transport(raw in any::<u32>(), p1 in 1u16.., p2 in 1u16..) {
+    #[test]
+    fn grouping_by_ip_ignores_port_and_transport() {
+        let mut rng = SimRng::seed_from(0x3a02);
+        for _ in 0..256 {
+            let raw = rng.raw_u64() as u32;
+            let p1 = rng.uniform_u64(1, u16::MAX as u64 + 1) as u16;
+            let p2 = rng.uniform_u64(1, u16::MAX as u64 + 1) as u16;
             let a = Multiaddr::new(IpAddress::V4(raw), Transport::Tcp, p1);
             let b = Multiaddr::new(IpAddress::V4(raw), Transport::Quic, p2);
-            prop_assert_eq!(a.ip(), b.ip());
+            assert_eq!(a.ip(), b.ip());
         }
     }
 }

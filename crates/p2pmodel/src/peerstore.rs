@@ -10,12 +10,11 @@
 use crate::identify::IdentifyInfo;
 use crate::multiaddr::Multiaddr;
 use crate::peer_id::PeerId;
-use serde::{Deserialize, Serialize};
 use simclock::SimTime;
 use std::collections::BTreeMap;
 
 /// Everything known about one peer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PeerEntry {
     /// The peer's identifier.
     pub peer: PeerId,
@@ -75,7 +74,7 @@ impl PeerEntry {
 /// assert_eq!(store.len(), 1);
 /// assert_eq!(store.dht_server_count(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Peerstore {
     peers: BTreeMap<PeerId, PeerEntry>,
 }

@@ -9,11 +9,10 @@
 
 use netsim::{DialBehavior, SessionPattern};
 use p2pmodel::ProtocolSet;
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimRng};
 
 /// The behavioural archetype of a simulated peer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Archetype {
     /// Long-running DHT-Server infrastructure (gateways, pinning services).
     /// Online for the whole run, keeps connections for a long time unless the

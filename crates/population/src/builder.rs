@@ -13,7 +13,6 @@ use crate::dynamics::{self, DynamicsConfig};
 use crate::ip::IpAllocator;
 use netsim::RemotePeerSpec;
 use p2pmodel::{AgentVersion, IdentifyInfo, PeerId};
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimRng};
 
 /// How many peers of each archetype the population contains.
@@ -22,7 +21,7 @@ use simclock::{SimDuration, SimRng};
 /// the paper's three-day P4 data set; `one_time_per_day` scales with the run
 /// length because one-time users keep arriving for as long as the measurement
 /// runs (Fig. 6 shows the PID count growing continuously).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopulationMix {
     /// Always-on DHT-Server infrastructure (the non-hydra part of the
     /// "heavy" server slice).

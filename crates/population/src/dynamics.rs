@@ -17,11 +17,10 @@ use crate::agents;
 use netsim::{MetadataChange, ScheduledChange};
 use p2pmodel::agent::{AgentVersion, VersionFlavor};
 use p2pmodel::protocol::well_known;
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimRng, SimTime};
 
 /// Tunable probabilities and rates for the metadata dynamics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicsConfig {
     /// Probability that a go-ipfs peer changes its agent version during a
     /// three-day window (scaled linearly with the run length).

@@ -9,11 +9,10 @@
 use crate::builder::{Population, PopulationBuilder};
 use netsim::{DhtRole, NetworkConfig, ObserverSpec};
 use p2pmodel::{ConnLimits, IpAddress, Multiaddr, PeerId};
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimRng};
 
 /// The measurement periods of Table I (plus the 14-day run of Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MeasurementPeriod {
     /// 2021-12-03 – 2021-12-06: go-ipfs DHT-Server at the 600/900 defaults
     /// and a 3-head hydra at 1.2k/1.8k.
@@ -79,6 +78,30 @@ impl MeasurementPeriod {
         }
     }
 
+    /// Parses a period from its report label (`"P0"` … `"P4"`, `"P14d"`),
+    /// case-insensitively and accepting `"Extended"` for the 14-day run.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use population::MeasurementPeriod;
+    ///
+    /// assert_eq!(MeasurementPeriod::from_label("P2"), Some(MeasurementPeriod::P2));
+    /// assert_eq!(MeasurementPeriod::from_label("p14d"), Some(MeasurementPeriod::Extended));
+    /// assert_eq!(MeasurementPeriod::from_label("P9"), None);
+    /// ```
+    pub fn from_label(label: &str) -> Option<MeasurementPeriod> {
+        match label.to_ascii_lowercase().as_str() {
+            "p0" => Some(MeasurementPeriod::P0),
+            "p1" => Some(MeasurementPeriod::P1),
+            "p2" => Some(MeasurementPeriod::P2),
+            "p3" => Some(MeasurementPeriod::P3),
+            "p4" => Some(MeasurementPeriod::P4),
+            "p14d" | "extended" => Some(MeasurementPeriod::Extended),
+            _ => None,
+        }
+    }
+
     /// The period label used in reports ("P 0", "P 1", …).
     pub fn label(self) -> &'static str {
         match self {
@@ -99,7 +122,7 @@ impl std::fmt::Display for MeasurementPeriod {
 }
 
 /// A runnable scenario: a measurement period, a seed and a population scale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Which measurement period to reproduce.
     pub period: MeasurementPeriod,

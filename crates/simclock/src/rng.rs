@@ -12,10 +12,110 @@
 //! * [`SimRng::log_normal`] — heavy-tailed but finite-mean session durations.
 //! * [`SimRng::pareto`] — very heavy-tailed durations for the stable core.
 //! * [`SimRng::zipf`] — popularity-skewed choices (e.g. version adoption).
+//!
+//! The generator itself is a self-contained xoshiro256++ instance seeded via
+//! SplitMix64, so the whole workspace is reproducible without any external
+//! RNG crate. The stream is *not* cryptographic — it only needs to be
+//! deterministic, well-mixed and fast.
 
-use rand::distributions::{Distribution, Uniform, WeightedIndex};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// One step of the SplitMix64 sequence: advances `state` and returns the
+/// mixed output.
+///
+/// This is the canonical way to expand a 64-bit seed into more state (the
+/// xoshiro authors' recommendation), and the workspace's shared primitive
+/// for deriving decorrelated seeds from coordinates — see
+/// `measurement::sweep` for the main consumer.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a string, for mixing textual labels into seed derivations.
+///
+/// # Example
+///
+/// ```
+/// use simclock::rng::fnv1a;
+///
+/// assert_eq!(fnv1a("P1"), fnv1a("P1"));
+/// assert_ne!(fnv1a("P1"), fnv1a("P2"));
+/// ```
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The xoshiro256++ core: 256 bits of state, 64-bit output.
+///
+/// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators" (the public-domain xoshiro256plusplus.c).
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands a 64-bit seed into the full state with SplitMix64, as the
+    /// xoshiro authors recommend (guarantees a non-zero state).
+    fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        Xoshiro256pp {
+            s: [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ],
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// An unbiased value in `[0, span)` via Lemire's multiply-shift method
+    /// with rejection.
+    #[inline]
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// A seeded random number generator with the distributions used by the
 /// population and churn models.
@@ -31,14 +131,14 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::from_seed(seed),
         }
     }
 
@@ -59,7 +159,7 @@ impl SimRng {
     /// Panics if `low >= high`.
     pub fn uniform_u64(&mut self, low: u64, high: u64) -> u64 {
         assert!(low < high, "uniform_u64 requires low < high");
-        self.inner.gen_range(low..high)
+        low + self.inner.bounded(high - low)
     }
 
     /// A uniformly distributed `usize` in `[0, n)`.
@@ -69,12 +169,12 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires a non-empty range");
-        self.inner.gen_range(0..n)
+        self.inner.bounded(n as u64) as usize
     }
 
     /// A uniformly distributed `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.unit_f64()
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -84,7 +184,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.inner.unit_f64() < p
         }
     }
 
@@ -95,7 +195,10 @@ impl SimRng {
 
     /// Fills `buf` with random bytes.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.inner.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 
     /// An exponentially distributed value with the given mean.
@@ -106,7 +209,7 @@ impl SimRng {
         if !mean.is_finite() || mean <= 0.0 {
             return 0.0;
         }
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u: f64 = self.inner.unit_f64().max(f64::EPSILON);
         -mean * u.ln()
     }
 
@@ -131,14 +234,14 @@ impl SimRng {
         if !scale.is_finite() || scale <= 0.0 || !alpha.is_finite() || alpha <= 0.0 {
             return 0.0;
         }
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u: f64 = self.inner.unit_f64().max(f64::EPSILON);
         scale / u.powf(1.0 / alpha)
     }
 
     /// A standard normal value (mean 0, variance 1) via Box–Muller.
     pub fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = self.inner.unit_f64().max(f64::EPSILON);
+        let u2: f64 = self.inner.unit_f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -157,7 +260,7 @@ impl SimRng {
         // linear scan is not a bottleneck.
         let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
         let total: f64 = weights.iter().sum();
-        let mut target = self.inner.gen::<f64>() * total;
+        let mut target = self.inner.unit_f64() * total;
         for (i, w) in weights.iter().enumerate() {
             if target < *w {
                 return i;
@@ -173,8 +276,26 @@ impl SimRng {
     ///
     /// Panics if `weights` is empty or all weights are zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        let dist = WeightedIndex::new(weights).expect("weights must be non-empty and non-zero");
-        dist.sample(&mut self.inner)
+        assert!(!weights.is_empty(), "weights must be non-empty and non-zero");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must be non-empty and non-zero");
+        let mut target = self.inner.unit_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                return i;
+            }
+            target -= *w;
+        }
+        // Floating-point underflow at the very end of the scan: return the
+        // last index with a non-zero weight.
+        weights
+            .iter()
+            .rposition(|w| *w > 0.0)
+            .expect("total > 0 implies a positive weight exists")
     }
 
     /// Chooses a reference to a random element of `items`.
@@ -189,7 +310,7 @@ impl SimRng {
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.inner.bounded(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
@@ -208,7 +329,7 @@ impl SimRng {
         if low >= high_inclusive {
             return low;
         }
-        Uniform::new_inclusive(low, high_inclusive).sample(&mut self.inner)
+        low + self.inner.bounded(high_inclusive - low + 1)
     }
 }
 

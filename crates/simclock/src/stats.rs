@@ -4,7 +4,6 @@
 //! histograms (Fig. 3/4), time series (Fig. 5/6) and CDFs (Fig. 7). The types
 //! in this module are the shared numeric backbone for all of those analyses.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Summary statistics over a set of samples: count, sum, mean, median, min,
@@ -20,7 +19,7 @@ use std::collections::BTreeMap;
 /// assert_eq!(s.mean, 2.5);
 /// assert_eq!(s.median, 2.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -131,7 +130,7 @@ pub fn mean(samples: &[f64]) -> f64 {
 /// assert_eq!(h.count("go-ipfs/0.11.0"), 2);
 /// assert_eq!(h.total(), 3);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     counts: BTreeMap<String, u64>,
 }
@@ -233,7 +232,7 @@ impl<S: Into<String>> Extend<S> for Histogram {
 /// assert_eq!(cdf.fraction_at_or_below(5.0), 0.0);
 /// assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }
@@ -307,7 +306,7 @@ impl Cdf {
 
 /// A time series of `(time-in-seconds, value)` samples, used for the
 /// simultaneous-connection plots (Fig. 5) and PID growth (Fig. 6).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     points: Vec<(f64, f64)>,
 }

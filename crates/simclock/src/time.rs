@@ -6,7 +6,6 @@
 //! thin wrappers around `u64` so they are `Copy`, ordered and hashable, and
 //! both serialize as plain integers for the JSON export of measurement data.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -23,8 +22,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(later.as_secs(), 90);
 /// assert_eq!(later - start, SimDuration::from_secs(90));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time in milliseconds.
@@ -38,8 +36,7 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_secs(), 7200);
 /// assert_eq!(d * 3, SimDuration::from_hours(6));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {

@@ -14,7 +14,8 @@
 //! * [`population`] — the peer population calibrated to the paper's reported
 //!   network composition, plus the measurement-period scenarios of Table I.
 //! * [`measurement`] — the instrumented go-ipfs and hydra clients, the
-//!   active-crawler baseline and the JSON data sets.
+//!   active-crawler baseline, the JSON data sets and the parallel
+//!   multi-seed campaign sweeps.
 //! * [`analysis`] — the pipelines that regenerate every table and figure.
 //!
 //! # Quick start
@@ -48,8 +49,9 @@ pub mod prelude {
         version_changes, ConnectionClass,
     };
     pub use measurement::{
-        run_period, run_scenario, ActiveCrawler, GoIpfsMonitor, HydraMonitor, MeasurementCampaign,
-        MeasurementDataset,
+        run_period, run_scenario, run_sweep, ActiveCrawler, GoIpfsMonitor, HydraMonitor,
+        MeasurementCampaign, MeasurementDataset, ObserverTweak, SweepGrid, SweepReport,
+        SweepRunner,
     };
     pub use netsim::{DhtRole, Network, NetworkConfig, ObserverSpec, RemotePeerSpec};
     pub use p2pmodel::{AgentVersion, ConnLimits, IdentifyInfo, Multiaddr, PeerId, ProtocolSet};

@@ -1,9 +1,12 @@
 //! Cross-crate property-based tests: invariants that must hold for *any*
 //! population mix, seed or connection-manager configuration.
+//!
+//! The offline build has no proptest, so each property is checked over a
+//! seeded random sample of configurations; the sample is deterministic, so
+//! failures reproduce exactly.
 
 use ipfs_passive_measurement::prelude::*;
 use netsim::{Network, SessionPattern};
-use proptest::prelude::*;
 use simclock::SimDuration;
 
 fn tiny_population(seed: u64, peers: usize, hours: u64) -> Vec<RemotePeerSpec> {
@@ -35,24 +38,39 @@ fn tiny_population(seed: u64, peers: usize, hours: u64) -> Vec<RemotePeerSpec> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Runs `cases` deterministic random configurations through `check`.
+fn for_cases(label: &str, cases: u64, mut check: impl FnMut(&mut SimRng)) {
+    // Derive one generator per property so adding a property does not shift
+    // the sample of the others.
+    let mut rng = SimRng::seed_from(simclock::rng::fnv1a(label));
+    for _ in 0..cases {
+        check(&mut rng);
+    }
+}
 
-    /// Whatever the configuration, the monitor pipeline never loses or
-    /// invents connections: every recorded connection fits inside the
-    /// measurement window and the per-peer sums match the overall sum.
-    #[test]
-    fn monitor_conserves_connections(seed in 0u64..1000, peers in 5usize..60, low in 3usize..20, extra in 1usize..20) {
-        let hours = 3;
-        let observer = ObserverSpec::new(
-            "go-ipfs",
-            PeerId::derived(0),
-            DhtRole::Server,
-            ConnLimits::new(low, low + extra),
-        );
-        let config = NetworkConfig::single_observer(seed, SimDuration::from_hours(hours), observer);
-        let output = Network::new(config, tiny_population(seed, peers, hours)).run();
-        let dataset = GoIpfsMonitor::new().ingest(&output.logs[0]);
+fn ingest(seed: u64, peers: usize, hours: u64, low: usize, high: usize) -> MeasurementDataset {
+    let observer = ObserverSpec::new(
+        "go-ipfs",
+        PeerId::derived(0),
+        DhtRole::Server,
+        ConnLimits::new(low, high),
+    );
+    let config = NetworkConfig::single_observer(seed, SimDuration::from_hours(hours), observer);
+    let output = Network::new(config, tiny_population(seed, peers, hours)).run();
+    GoIpfsMonitor::new().ingest(&output.logs[0])
+}
+
+/// Whatever the configuration, the monitor pipeline never loses or invents
+/// connections: every recorded connection fits inside the measurement window
+/// and the per-peer sums match the overall sum.
+#[test]
+fn monitor_conserves_connections() {
+    for_cases("monitor_conserves_connections", 12, |rng| {
+        let seed = rng.uniform_u64(0, 1000);
+        let peers = rng.uniform_u64(5, 60) as usize;
+        let low = rng.uniform_u64(3, 20) as usize;
+        let extra = rng.uniform_u64(1, 20) as usize;
+        let dataset = ingest(seed, peers, 3, low, low + extra);
 
         let total = dataset.connection_count();
         let per_peer_sum: usize = dataset
@@ -60,94 +78,80 @@ proptest! {
             .keys()
             .map(|peer| dataset.connections_of(peer).len())
             .sum();
-        prop_assert_eq!(total, per_peer_sum);
+        assert_eq!(total, per_peer_sum);
         for conn in &dataset.connections {
-            prop_assert!(conn.opened_at >= dataset.started_at);
-            prop_assert!(conn.closed_at <= dataset.ended_at);
-            prop_assert!(conn.closed_at >= conn.opened_at);
+            assert!(conn.opened_at >= dataset.started_at);
+            assert!(conn.closed_at <= dataset.ended_at);
+            assert!(conn.closed_at >= conn.opened_at);
         }
-    }
+    });
+}
 
-    /// The Table IV classification is a partition: total classified peers
-    /// equals the number of connected PIDs, independent of configuration.
-    #[test]
-    fn classification_is_a_partition(seed in 0u64..1000, peers in 5usize..60) {
-        let observer = ObserverSpec::new(
-            "go-ipfs",
-            PeerId::derived(0),
-            DhtRole::Server,
-            ConnLimits::new(30, 50),
-        );
-        let config = NetworkConfig::single_observer(seed, SimDuration::from_hours(2), observer);
-        let output = Network::new(config, tiny_population(seed, peers, 2)).run();
-        let dataset = GoIpfsMonitor::new().ingest(&output.logs[0]);
+/// The Table IV classification is a partition: total classified peers equals
+/// the number of connected PIDs, independent of configuration.
+#[test]
+fn classification_is_a_partition() {
+    for_cases("classification_is_a_partition", 12, |rng| {
+        let seed = rng.uniform_u64(0, 1000);
+        let peers = rng.uniform_u64(5, 60) as usize;
+        let dataset = ingest(seed, peers, 2, 30, 50);
         let classes = analysis::classify_peers(&dataset);
-        prop_assert_eq!(classes.total(), dataset.connected_pid_count());
+        assert_eq!(classes.total(), dataset.connected_pid_count());
         let sum: usize = analysis::ConnectionClass::ALL
             .iter()
             .map(|c| classes.count(*c))
             .sum();
-        prop_assert_eq!(sum, classes.total());
+        assert_eq!(sum, classes.total());
         // Server counts never exceed totals.
         for class in analysis::ConnectionClass::ALL {
-            prop_assert!(classes.server_count(class) <= classes.count(class));
+            assert!(classes.server_count(class) <= classes.count(class));
         }
-    }
+    });
+}
 
-    /// Network-size estimators are always ordered: PIDs ≥ IP groups ≥ core.
-    #[test]
-    fn estimators_are_ordered(seed in 0u64..1000, peers in 5usize..60) {
-        let observer = ObserverSpec::new(
-            "go-ipfs",
-            PeerId::derived(0),
-            DhtRole::Server,
-            ConnLimits::new(40, 60),
-        );
-        let config = NetworkConfig::single_observer(seed, SimDuration::from_hours(2), observer);
-        let output = Network::new(config, tiny_population(seed, peers, 2)).run();
-        let dataset = GoIpfsMonitor::new().ingest(&output.logs[0]);
+/// Network-size estimators are always ordered: PIDs ≥ IP groups ≥ core.
+#[test]
+fn estimators_are_ordered() {
+    for_cases("estimators_are_ordered", 12, |rng| {
+        let seed = rng.uniform_u64(0, 1000);
+        let peers = rng.uniform_u64(5, 60) as usize;
+        let dataset = ingest(seed, peers, 2, 40, 60);
         let estimate = analysis::network_size_estimate(&dataset);
-        prop_assert!(estimate.by_ip_groups <= estimate.by_pids);
-        prop_assert!(estimate.core_lower_bound <= dataset.connected_pid_count());
-    }
+        assert!(estimate.by_ip_groups <= estimate.by_pids);
+        assert!(estimate.core_lower_bound <= dataset.connected_pid_count());
+    });
+}
 
-    /// JSON export and re-import is lossless for arbitrary simulated runs.
-    #[test]
-    fn dataset_json_roundtrip(seed in 0u64..500, peers in 3usize..30) {
-        let observer = ObserverSpec::new(
-            "go-ipfs",
-            PeerId::derived(0),
-            DhtRole::Server,
-            ConnLimits::new(20, 30),
-        );
-        let config = NetworkConfig::single_observer(seed, SimDuration::from_hours(1), observer);
-        let output = Network::new(config, tiny_population(seed, peers, 1)).run();
-        let dataset = GoIpfsMonitor::new().ingest(&output.logs[0]);
+/// JSON export and re-import is lossless for arbitrary simulated runs.
+#[test]
+fn dataset_json_roundtrip() {
+    for_cases("dataset_json_roundtrip", 12, |rng| {
+        let seed = rng.uniform_u64(0, 500);
+        let peers = rng.uniform_u64(3, 30) as usize;
+        let dataset = ingest(seed, peers, 1, 20, 30);
         let parsed = MeasurementDataset::from_json_str(&dataset.to_json_string()).unwrap();
-        prop_assert_eq!(parsed, dataset);
-    }
+        assert_eq!(parsed, dataset);
+    });
+}
 
-    /// The duration CDF of Fig. 7 is a proper CDF: monotone and reaching 1.
-    #[test]
-    fn duration_cdf_is_monotone(seed in 0u64..500, peers in 5usize..40) {
-        let observer = ObserverSpec::new(
-            "go-ipfs",
-            PeerId::derived(0),
-            DhtRole::Server,
-            ConnLimits::new(20, 30),
-        );
-        let config = NetworkConfig::single_observer(seed, SimDuration::from_hours(2), observer);
-        let output = Network::new(config, tiny_population(seed, peers, 2)).run();
-        let dataset = GoIpfsMonitor::new().ingest(&output.logs[0]);
+/// The duration CDF of Fig. 7 is a proper CDF: monotone and reaching 1.
+#[test]
+fn duration_cdf_is_monotone() {
+    for_cases("duration_cdf_is_monotone", 12, |rng| {
+        let seed = rng.uniform_u64(0, 500);
+        let peers = rng.uniform_u64(5, 40) as usize;
+        let dataset = ingest(seed, peers, 2, 20, 30);
         let cdfs = analysis::max_duration_cdf(&dataset, 30.0);
-        prop_assume!(!cdfs.all.is_empty());
+        if cdfs.all.is_empty() {
+            return;
+        }
         let mut previous = 0.0;
         for x in [10.0, 60.0, 600.0, 3_600.0, 86_400.0, 1_000_000.0] {
             let fraction = cdfs.fraction_below(x);
-            prop_assert!(fraction >= previous);
-            prop_assert!((0.0..=1.0).contains(&fraction));
+            assert!(fraction >= previous);
+            assert!((0.0..=1.0).contains(&fraction));
             previous = fraction;
         }
-        prop_assert!((cdfs.fraction_below(10_000_000.0) - 1.0).abs() < 1e-9);
-    }
+        assert!((cdfs.fraction_below(10_000_000.0) - 1.0).abs() < 1e-9);
+    });
 }
