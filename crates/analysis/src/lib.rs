@@ -10,6 +10,7 @@
 //! | [`timeline`] | Fig. 5 (simultaneous connections over 24 h), Fig. 6 (PIDs over time, ≥3 d disconnected) |
 //! | [`cdf`] | Fig. 7 — CDFs of max connection duration and of connections per PID |
 //! | [`netsize`] | Section V — IP-address grouping, Table IV peer classification, network-size estimates |
+//! | [`robustness`] | Estimator error under adversarial churn scenarios (diurnal waves, flash crowds, PID floods, NAT churn) |
 //! | [`fingerprint`] | The paper's future-work idea: re-identifying peers by metadata fingerprints |
 //! | [`report`] | Text tables / CSV rendering shared by the reproduction harness |
 //!
@@ -27,6 +28,7 @@ pub mod horizon;
 pub mod metadata;
 pub mod netsize;
 pub mod report;
+pub mod robustness;
 pub mod timeline;
 pub mod validation;
 
@@ -39,5 +41,8 @@ pub use metadata::{
     AgentBreakdown, AnomalyReport, RoleSwitchStats, VersionChangeTable,
 };
 pub use netsize::{classify_peers, ip_grouping, network_size_estimate, ConnectionClass, IpGrouping, NetworkSizeEstimate, PeerClassification};
+pub use robustness::{
+    robustness_report, scenario_robustness, EstimatorError, RobustnessReport, RobustnessRow,
+};
 pub use timeline::{connection_timeline, pid_growth, PidGrowth};
 pub use validation::{churn_decomposition, ChurnDecomposition};

@@ -341,6 +341,69 @@ mod tests {
         let grouping = ip_grouping(&ds);
         assert_eq!(grouping.groups, 0);
         assert_eq!(grouping.largest_group, 0);
+        assert_eq!(grouping.connected_pids, 0);
+        assert_eq!(grouping.distinct_ips, 0);
+        assert!(grouping.top_groups.is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_classifies_and_estimates_without_panicking() {
+        let ds = dataset(Vec::new(), &[]);
+        let classes = classify_peers(&ds);
+        assert_eq!(classes.total(), 0);
+        assert_eq!(classes.core_size(), 0);
+        assert!(classes.per_peer.is_empty());
+        for class in ConnectionClass::ALL {
+            assert_eq!(classes.count(class), 0);
+            assert_eq!(classes.server_count(class), 0);
+        }
+        let estimate = network_size_estimate(&ds);
+        assert_eq!(estimate.by_pids, 0);
+        assert_eq!(estimate.by_ip_groups, 0);
+        assert_eq!(estimate.core_lower_bound, 0);
+        assert_eq!(estimate.max_simultaneous_connections, 0, "no snapshots, no max");
+    }
+
+    #[test]
+    fn all_one_time_population_has_an_empty_core() {
+        // Every peer: one short connection, each from its own IP — the
+        // extreme the paper's flash-crowd-like tail approaches.
+        let connections: Vec<ConnectionRecord> = (0..40u64)
+            .map(|i| conn(i, i, 5_000 + i as u32, i * 10, i * 10 + 300))
+            .collect();
+        let ds = dataset(connections, &[]);
+        let classes = classify_peers(&ds);
+        assert_eq!(classes.count(ConnectionClass::OneTime), 40);
+        assert_eq!(classes.count(ConnectionClass::Heavy), 0);
+        assert_eq!(classes.count(ConnectionClass::Normal), 0);
+        assert_eq!(classes.count(ConnectionClass::Light), 0);
+        assert_eq!(classes.core_size(), 0, "one-time users never reach the core");
+        let estimate = network_size_estimate(&ds);
+        assert_eq!(estimate.by_pids, 40);
+        assert_eq!(estimate.by_ip_groups, 40);
+        assert_eq!(estimate.core_lower_bound, 0);
+    }
+
+    #[test]
+    fn single_ip_population_collapses_to_one_group() {
+        // NAT extreme: many distinct peers, every connection from one IP.
+        let connections: Vec<ConnectionRecord> = (0..25u64)
+            .map(|i| conn(i, i, 777, 0, 3 * 3600 + i))
+            .collect();
+        let ds = dataset(connections, &[]);
+        let grouping = ip_grouping(&ds);
+        assert_eq!(grouping.connected_pids, 25);
+        assert_eq!(grouping.distinct_ips, 1);
+        assert_eq!(grouping.groups, 1, "one shared IP is one group");
+        assert_eq!(grouping.largest_group, 25);
+        assert_eq!(grouping.singleton_groups, 0);
+        assert_eq!(grouping.unique_ip_pids, 0);
+        assert_eq!(grouping.top_groups, vec![25]);
+        // §V-A under-counts by 24 participants here while §V-B sees all 25
+        // normal-class peers — the tension the robustness report measures.
+        let estimate = network_size_estimate(&ds);
+        assert_eq!(estimate.by_ip_groups, 1);
+        assert_eq!(estimate.core_lower_bound, 25);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Estimator robustness under adversarial churn.
+//!
+//! Section V's network-size estimators are validated in the paper only
+//! against benign churn. The scenario subsystem
+//! (`population::scenarios::ChurnScenario`) produces adversarial regimes —
+//! PID-rotation floods, NAT-heavy populations, flash crowds — and this
+//! module quantifies what each regime does to the estimators by comparing
+//! them against the simulation's ground-truth *participant* count:
+//!
+//! * **by PIDs** — the naive upper bound; a rotation flood inflates it
+//!   arbitrarily,
+//! * **by IP groups** (§V-A) — collapses rotation floods (one IP) but is
+//!   driven *below* truth by NAT churn (many participants per IP),
+//! * **core lower bound** (§V-B, heavy + normal classes) — immune to
+//!   one-time noise but blind to short-lived participants.
+//!
+//! [`robustness_report`] turns a set of campaigns (typically one per
+//! scenario from `measurement::run_scenario_suite`) into a
+//! [`RobustnessReport`] with per-scenario signed relative errors, exported
+//! as deterministic JSON by the `repro scenarios` CLI subcommand.
+
+use crate::netsize::{classify_peers, network_size_estimate, ConnectionClass};
+use crate::report;
+use jsonio::Json;
+use measurement::MeasurementCampaign;
+
+/// One estimator compared against the ground-truth participant count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorError {
+    /// The estimator's value.
+    pub estimate: usize,
+    /// The ground truth it approximates.
+    pub truth: usize,
+    /// `(estimate - truth) / truth`: positive = over-count, negative =
+    /// under-count. Zero when both sides are zero.
+    pub signed_rel_error: f64,
+}
+
+impl EstimatorError {
+    /// Compares an estimate against a ground-truth value.
+    pub fn new(estimate: usize, truth: usize) -> EstimatorError {
+        let signed_rel_error = if truth == 0 {
+            if estimate == 0 { 0.0 } else { f64::INFINITY }
+        } else {
+            (estimate as f64 - truth as f64) / truth as f64
+        };
+        EstimatorError {
+            estimate,
+            truth,
+            signed_rel_error,
+        }
+    }
+
+    /// The magnitude of the relative error.
+    pub fn abs_rel_error(&self) -> f64 {
+        self.signed_rel_error.abs()
+    }
+
+    fn to_json(self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("estimate", self.estimate);
+        obj.insert("truth", self.truth);
+        obj.insert("signed_rel_error", self.signed_rel_error);
+        obj
+    }
+}
+
+/// Estimator errors of one campaign (one scenario × period × scale × seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessRow {
+    /// Churn-scenario label (`"baseline"`, `"pidflood"`, …).
+    pub scenario: String,
+    /// Measurement-period label.
+    pub period: String,
+    /// Population scale.
+    pub scale: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Ground-truth PIDs that ever existed in the run.
+    pub truth_pids: usize,
+    /// Ground-truth participants (PIDs collapsed to operators).
+    pub truth_participants: usize,
+    /// PIDs the primary observer actually saw.
+    pub observed_pids: usize,
+    /// The naive PID-count estimator vs. participants.
+    pub by_pids: EstimatorError,
+    /// The §V-A IP-grouping estimator vs. participants.
+    pub by_ip_groups: EstimatorError,
+    /// The §V-B core lower bound (heavy + normal) vs. participants.
+    pub core_lower_bound: EstimatorError,
+    /// Table IV class sizes `(label, peers)` for context.
+    pub classes: Vec<(String, usize)>,
+}
+
+impl RobustnessRow {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("scenario", self.scenario.as_str());
+        obj.insert("period", self.period.as_str());
+        obj.insert("scale", self.scale);
+        obj.insert("seed", self.seed);
+        obj.insert("truth_pids", self.truth_pids);
+        obj.insert("truth_participants", self.truth_participants);
+        obj.insert("observed_pids", self.observed_pids);
+        obj.insert("by_pids", self.by_pids.to_json());
+        obj.insert("by_ip_groups", self.by_ip_groups.to_json());
+        obj.insert("core_lower_bound", self.core_lower_bound.to_json());
+        let mut classes = Json::object();
+        for (label, count) in &self.classes {
+            classes.insert(label.as_str(), *count);
+        }
+        obj.insert("classes", classes);
+        obj
+    }
+}
+
+/// Computes the robustness row of one finished campaign.
+pub fn scenario_robustness(campaign: &MeasurementCampaign) -> RobustnessRow {
+    let dataset = campaign.primary();
+    let estimate = network_size_estimate(dataset);
+    let classification = classify_peers(dataset);
+    let truth_participants = campaign.ground_truth_participants;
+    RobustnessRow {
+        scenario: campaign.scenario.churn.label().to_string(),
+        period: campaign.scenario.period.label().to_string(),
+        scale: campaign.scenario.scale,
+        seed: campaign.scenario.seed,
+        truth_pids: campaign.ground_truth.population_size(),
+        truth_participants,
+        observed_pids: dataset.pid_count(),
+        by_pids: EstimatorError::new(estimate.by_pids, truth_participants),
+        by_ip_groups: EstimatorError::new(estimate.by_ip_groups, truth_participants),
+        core_lower_bound: EstimatorError::new(estimate.core_lower_bound, truth_participants),
+        classes: ConnectionClass::ALL
+            .iter()
+            .map(|class| (class.label().to_string(), classification.count(*class)))
+            .collect(),
+    }
+}
+
+/// Per-scenario estimator errors for a suite of campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// One row per campaign, in input order.
+    pub rows: Vec<RobustnessRow>,
+}
+
+/// Computes the robustness report of a scenario suite (one row per
+/// campaign, preserving the input order).
+pub fn robustness_report(campaigns: &[MeasurementCampaign]) -> RobustnessReport {
+    RobustnessReport {
+        rows: campaigns.iter().map(scenario_robustness).collect(),
+    }
+}
+
+impl RobustnessReport {
+    /// Looks up the row of a scenario by label.
+    pub fn row(&self, scenario: &str) -> Option<&RobustnessRow> {
+        self.rows.iter().find(|r| r.scenario == scenario)
+    }
+
+    /// Renders the report as a [`Json`] value. The output contains nothing
+    /// execution-dependent, so the same campaigns always yield the same
+    /// document.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert(
+            "rows",
+            Json::Array(self.rows.iter().map(|r| r.to_json()).collect()),
+        );
+        obj
+    }
+
+    /// Serialises to compact JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Serialises to pretty-printed JSON.
+    pub fn to_json_string_pretty(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Renders the rows as an aligned text table (errors as signed
+    /// percentages).
+    pub fn summary_table(&self) -> String {
+        let pct = |e: &EstimatorError| {
+            if e.signed_rel_error.is_finite() {
+                format!("{} ({:+.0}%)", e.estimate, e.signed_rel_error * 100.0)
+            } else {
+                format!("{} (inf)", e.estimate)
+            }
+        };
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.scenario.clone(),
+                    row.period.clone(),
+                    row.truth_pids.to_string(),
+                    row.truth_participants.to_string(),
+                    pct(&row.by_pids),
+                    pct(&row.by_ip_groups),
+                    pct(&row.core_lower_bound),
+                ]
+            })
+            .collect();
+        report::text_table(
+            &[
+                "Scenario",
+                "Period",
+                "TruthPIDs",
+                "TruthParts",
+                "byPIDs",
+                "byIPgroups (V-A)",
+                "core (V-B)",
+            ],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measurement::run_scenario_suite;
+    use population::{ChurnScenario, MeasurementPeriod};
+
+    #[test]
+    fn estimator_error_is_signed_and_handles_zero_truth() {
+        let over = EstimatorError::new(150, 100);
+        assert!((over.signed_rel_error - 0.5).abs() < 1e-12);
+        let under = EstimatorError::new(50, 100);
+        assert!((under.signed_rel_error + 0.5).abs() < 1e-12);
+        assert_eq!(under.abs_rel_error(), 0.5);
+        assert_eq!(EstimatorError::new(0, 0).signed_rel_error, 0.0);
+        assert!(EstimatorError::new(5, 0).signed_rel_error.is_infinite());
+    }
+
+    #[test]
+    fn report_tells_the_rotation_flood_story() {
+        let scenarios = vec![ChurnScenario::Baseline, ChurnScenario::pid_rotation_flood()];
+        let campaigns = run_scenario_suite(MeasurementPeriod::P4, 0.004, 5, &scenarios, 2);
+        let report = robustness_report(&campaigns);
+        assert_eq!(report.rows.len(), 2);
+        let baseline = report.row("baseline").unwrap();
+        let flood = report.row("pidflood").unwrap();
+        // The flood adds many PIDs but exactly one participant, so the naive
+        // PID estimator degrades more than the §V-A IP grouping.
+        assert_eq!(flood.truth_participants, baseline.truth_participants + 1);
+        assert!(flood.truth_pids > baseline.truth_pids);
+        assert!(
+            flood.by_pids.signed_rel_error > baseline.by_pids.signed_rel_error,
+            "a PID flood must inflate the naive estimator's error ({} vs {})",
+            flood.by_pids.signed_rel_error,
+            baseline.by_pids.signed_rel_error
+        );
+        let grouping_degradation =
+            flood.by_ip_groups.signed_rel_error - baseline.by_ip_groups.signed_rel_error;
+        let naive_degradation = flood.by_pids.signed_rel_error - baseline.by_pids.signed_rel_error;
+        assert!(
+            grouping_degradation < naive_degradation,
+            "IP grouping must absorb the flood better than PID counting ({grouping_degradation} vs {naive_degradation})"
+        );
+        // Estimator ordering survives every scenario.
+        for row in &report.rows {
+            assert!(row.by_ip_groups.estimate <= row.by_pids.estimate);
+            assert!(row.core_lower_bound.estimate <= row.by_ip_groups.estimate);
+        }
+    }
+
+    #[test]
+    fn report_json_and_table_are_deterministic_and_complete() {
+        let scenarios = vec![ChurnScenario::Baseline, ChurnScenario::nat_churn()];
+        let campaigns = run_scenario_suite(MeasurementPeriod::P1, 0.003, 9, &scenarios, 1);
+        let report = robustness_report(&campaigns);
+        let again = robustness_report(&campaigns);
+        assert_eq!(report.to_json_string(), again.to_json_string());
+        let json = Json::parse(&report.to_json_string_pretty()).unwrap();
+        let rows = json.array_field("rows").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].str_field("scenario").unwrap(), "baseline");
+        assert_eq!(rows[1].str_field("scenario").unwrap(), "natchurn");
+        assert!(rows[1].u64_field("truth_participants").unwrap() > 0);
+        assert!(rows[1].field("by_ip_groups").unwrap().u64_field("estimate").is_ok());
+        let table = report.summary_table();
+        assert!(table.contains("natchurn"));
+        assert!(table.contains('%'));
+        assert_eq!(report.row("nope"), None);
+    }
+}

@@ -15,10 +15,21 @@
 //! cargo run --release -p bench --bin repro -- sweep --periods P1,P2 --seeds 8
 //! cargo run --release -p bench --bin repro -- sweep --periods P4 --scales 0.005,0.01 \
 //!     --tweaks baseline=1.0,tight=0.5 --threads 8 --pretty
+//! cargo run --release -p bench --bin repro -- sweep --periods P4 \
+//!     --scenarios baseline,flashcrowd,pidflood
 //! ```
 //!
-//! Sweep output is deterministic: the same grid produces byte-identical JSON
-//! regardless of `--threads`.
+//! The `scenarios` subcommand runs one period under every adversarial churn
+//! regime (diurnal wave, flash crowd, mass exit, PID-rotation flood, NAT
+//! churn) and emits the estimator-robustness report of
+//! `analysis::robustness` as JSON on stdout:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro -- scenarios --period P4 --scale 0.005
+//! ```
+//!
+//! Sweep and scenario output is deterministic: the same configuration
+//! produces byte-identical JSON regardless of `--threads`.
 //!
 //! Absolute values scale with the `--scale` factor (the paper measured the
 //! real ~48k-peer network); the *shapes* — orderings, ratios, crossovers —
@@ -31,8 +42,8 @@ use analysis::{
     pid_growth, role_switches, version_changes,
 };
 use measurement::sweep::{ObserverTweak, SweepGrid, SweepRunner};
-use measurement::{run_period, MeasurementCampaign};
-use population::{MeasurementPeriod, Scenario};
+use measurement::{run_period, run_scenario_suite, MeasurementCampaign};
+use population::{ChurnScenario, MeasurementPeriod, Scenario};
 use simclock::{Cdf, SimDuration};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -87,6 +98,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("sweep") {
         run_sweep_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("scenarios") {
+        run_scenarios_command(&args[1..]);
         return;
     }
     let options = parse_args();
@@ -407,9 +422,24 @@ fn sweep_usage() -> ! {
     eprintln!(
         "usage: repro sweep [--periods P1,P2,...] [--scales 0.01,...] \
          [--seeds N | --seed-list 3,17,...] [--tweaks label=factor,...] \
+         [--scenarios baseline,flashcrowd,...] \
          [--base-seed N] [--threads N] [--pretty] [--no-table]"
     );
     std::process::exit(2);
+}
+
+fn parse_scenarios(spec: &str) -> Vec<ChurnScenario> {
+    spec.split(',')
+        .map(|label| {
+            ChurnScenario::from_label(label.trim()).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown scenario {label:?} (expected baseline, diurnal, flashcrowd, \
+                     massexit, pidflood or natchurn)"
+                );
+                std::process::exit(2);
+            })
+        })
+        .collect()
 }
 
 fn run_sweep_command(args: &[String]) {
@@ -417,6 +447,7 @@ fn run_sweep_command(args: &[String]) {
     let mut scales = vec![0.01];
     let mut seeds: Vec<u64> = (1..=8).collect();
     let mut tweaks = vec![ObserverTweak::default()];
+    let mut scenarios = vec![ChurnScenario::Baseline];
     let mut base_seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut pretty = false;
@@ -476,6 +507,10 @@ fn run_sweep_command(args: &[String]) {
                     .collect();
                 i += 2;
             }
+            "--scenarios" => {
+                scenarios = parse_scenarios(take(i));
+                i += 2;
+            }
             "--base-seed" => {
                 base_seed = Some(take(i).parse().unwrap_or_else(|_| sweep_usage()));
                 i += 2;
@@ -496,14 +531,15 @@ fn run_sweep_command(args: &[String]) {
         }
     }
 
-    if periods.is_empty() || scales.is_empty() || seeds.is_empty() || tweaks.is_empty() {
+    if periods.is_empty() || scales.is_empty() || seeds.is_empty() || tweaks.is_empty() || scenarios.is_empty() {
         sweep_usage();
     }
 
     let mut grid = SweepGrid::new(periods)
         .with_scales(scales)
         .with_seeds(seeds)
-        .with_tweaks(tweaks);
+        .with_tweaks(tweaks)
+        .with_scenarios(scenarios);
     if let Some(base) = base_seed {
         grid = grid.with_base_seed(base);
     }
@@ -523,11 +559,100 @@ fn run_sweep_command(args: &[String]) {
     let report = runner.run_with_progress(&grid, |cell| {
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
         eprintln!(
-            "[{finished}/{total}] {} scale {} seed {} ({}): {} conns, {} pids",
-            cell.period, cell.scale, cell.seed, cell.tweak, cell.connections, cell.pids
+            "[{finished}/{total}] {} {} scale {} seed {} ({}): {} conns, {} pids",
+            cell.period, cell.scenario, cell.scale, cell.seed, cell.tweak, cell.connections, cell.pids
         );
     });
     eprintln!("# sweep finished in {:.1?}", started.elapsed());
+    if table {
+        eprintln!("\n{}", report.summary_table());
+    }
+    if pretty {
+        println!("{}", report.to_json_string_pretty());
+    } else {
+        println!("{}", report.to_json_string());
+    }
+}
+
+// ---- the `scenarios` subcommand --------------------------------------------
+
+fn scenarios_usage() -> ! {
+    eprintln!(
+        "usage: repro scenarios [--period P4] [--scale 0.005] [--seed N] \
+         [--scenarios baseline,diurnal,flashcrowd,massexit,pidflood,natchurn] \
+         [--threads N] [--pretty] [--no-table]"
+    );
+    std::process::exit(2);
+}
+
+fn run_scenarios_command(args: &[String]) {
+    let mut period = MeasurementPeriod::P4;
+    let mut scale: f64 = 0.005;
+    let mut seed = 1975u64;
+    let mut scenarios = ChurnScenario::all();
+    let mut threads: Option<usize> = None;
+    let mut pretty = false;
+    let mut table = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| scenarios_usage())
+        };
+        match args[i].as_str() {
+            "--period" => {
+                period = MeasurementPeriod::from_label(take(i)).unwrap_or_else(|| {
+                    eprintln!("unknown period {:?} (expected P0..P4 or P14d)", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--scale" => {
+                scale = take(i).parse().unwrap_or_else(|_| scenarios_usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = take(i).parse().unwrap_or_else(|_| scenarios_usage());
+                i += 2;
+            }
+            "--scenarios" => {
+                scenarios = parse_scenarios(take(i));
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(take(i).parse().unwrap_or_else(|_| scenarios_usage()));
+                i += 2;
+            }
+            "--pretty" => {
+                pretty = true;
+                i += 1;
+            }
+            "--no-table" => {
+                table = false;
+                i += 1;
+            }
+            _ => scenarios_usage(),
+        }
+    }
+    if scenarios.is_empty() || !scale.is_finite() || scale <= 0.0 {
+        scenarios_usage();
+    }
+
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    eprintln!(
+        "# scenarios: {} on {period} at scale {scale}, seed {seed}",
+        scenarios
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let started = std::time::Instant::now();
+    let campaigns = run_scenario_suite(period, scale, seed, &scenarios, threads);
+    let report = analysis::robustness_report(&campaigns);
+    eprintln!("# scenarios finished in {:.1?}", started.elapsed());
     if table {
         eprintln!("\n{}", report.summary_table());
     }

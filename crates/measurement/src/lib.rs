@@ -35,5 +35,7 @@ pub use crawler::{ActiveCrawler, CrawlSnapshot, CrawlSummary};
 pub use dataset::MeasurementDataset;
 pub use monitor::{GoIpfsMonitor, HydraMonitor};
 pub use record::{ConnectionRecord, MetadataChangeRecord, PeerRecord, SnapshotRecord};
-pub use runner::{run_built, run_period, run_scenario, MeasurementCampaign};
+pub use runner::{
+    run_built, run_period, run_scenario, run_scenario_suite, MeasurementCampaign,
+};
 pub use sweep::{run_sweep, ObserverTweak, SweepGrid, SweepReport, SweepRunner};

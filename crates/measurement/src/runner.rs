@@ -9,14 +9,20 @@ use crate::crawler::{ActiveCrawler, CrawlSnapshot, CrawlSummary};
 use crate::dataset::MeasurementDataset;
 use crate::monitor::{GoIpfsMonitor, HydraMonitor};
 use netsim::{GroundTruth, ObserverLog};
-use population::{MeasurementPeriod, Scenario};
+use population::{ChurnScenario, MeasurementPeriod, Scenario};
 use simclock::SimTime;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The complete result of reproducing one measurement period.
 #[derive(Debug, Clone)]
 pub struct MeasurementCampaign {
     /// The scenario that was run.
     pub scenario: Scenario,
+    /// Ground-truth participant count of the run (PIDs collapsed to
+    /// operators; see `population::Population::participants`), the baseline
+    /// `analysis::robustness` measures estimator error against.
+    pub ground_truth_participants: usize,
     /// The go-ipfs client's data set, if one was deployed in this period.
     pub go_ipfs: Option<MeasurementDataset>,
     /// One data set per hydra head.
@@ -73,8 +79,11 @@ pub fn run_scenario(scenario: Scenario) -> MeasurementCampaign {
 /// cadence) across grid cells without touching the scenario definitions.
 pub fn run_built(run: population::ScenarioRun) -> MeasurementCampaign {
     let scenario = run.scenario;
+    let ground_truth_participants = run.ground_truth_participants;
     let duration = run.config.duration;
-    let output = netsim::Network::new(run.config, run.population.specs).run();
+    let output = netsim::Network::new(run.config, run.population.specs)
+        .with_population_events(run.events)
+        .run();
 
     let go_ipfs_log: Option<&ObserverLog> = output.log("go-ipfs");
     let hydra_logs: Vec<&ObserverLog> = output
@@ -97,6 +106,7 @@ pub fn run_built(run: population::ScenarioRun) -> MeasurementCampaign {
 
     MeasurementCampaign {
         scenario,
+        ground_truth_participants,
         go_ipfs,
         hydra_heads,
         hydra_union,
@@ -110,6 +120,48 @@ pub fn run_built(run: population::ScenarioRun) -> MeasurementCampaign {
 /// and seed.
 pub fn run_period(period: MeasurementPeriod, scale: f64, seed: u64) -> MeasurementCampaign {
     run_scenario(Scenario::new(period).with_scale(scale).with_seed(seed))
+}
+
+/// Runs one measurement period under every given churn regime, in parallel.
+///
+/// Every campaign uses the *same* period, scale and seed, so the base
+/// population is identical across regimes and differences in the results are
+/// attributable to the scenario events alone. The returned campaigns are in
+/// `scenarios` order regardless of `threads` — determinism is inherited from
+/// the per-campaign seed, never from scheduling.
+pub fn run_scenario_suite(
+    period: MeasurementPeriod,
+    scale: f64,
+    seed: u64,
+    scenarios: &[ChurnScenario],
+    threads: usize,
+) -> Vec<MeasurementCampaign> {
+    let threads = threads.clamp(1, scenarios.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<MeasurementCampaign>>> = Mutex::new(vec![None; scenarios.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(churn) = scenarios.get(idx) else {
+                    break;
+                };
+                let campaign = run_scenario(
+                    Scenario::new(period)
+                        .with_scale(scale)
+                        .with_seed(seed)
+                        .with_churn(churn.clone()),
+                );
+                slots.lock().expect("scenario suite lock")[idx] = Some(campaign);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("scenario suite lock")
+        .into_iter()
+        .map(|slot| slot.expect("every scenario completes"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -165,6 +217,31 @@ mod tests {
         for head in &campaign.hydra_heads {
             assert!(union.pid_count() >= head.pid_count());
         }
+    }
+
+    #[test]
+    fn scenario_suite_is_deterministic_across_thread_counts() {
+        let scenarios = vec![
+            ChurnScenario::Baseline,
+            ChurnScenario::flash_crowd(),
+            ChurnScenario::pid_rotation_flood(),
+        ];
+        let serial = run_scenario_suite(MeasurementPeriod::P1, 0.003, 7, &scenarios, 1);
+        let parallel = run_scenario_suite(MeasurementPeriod::P1, 0.003, 7, &scenarios, 3);
+        assert_eq!(serial.len(), 3);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.primary(), b.primary());
+            assert_eq!(a.ground_truth, b.ground_truth);
+            assert_eq!(a.ground_truth_participants, b.ground_truth_participants);
+        }
+        // The flash crowd inflates the PID population over baseline; the
+        // rotation flood adds exactly one participant.
+        assert!(serial[1].ground_truth.population_size() > serial[0].ground_truth.population_size());
+        assert_eq!(
+            serial[2].ground_truth_participants,
+            serial[0].ground_truth_participants + 1
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@
 
 use crate::runner::{run_built, MeasurementCampaign};
 use jsonio::Json;
-use population::{MeasurementPeriod, Scenario};
+use population::{ChurnScenario, MeasurementPeriod, Scenario};
 use simclock::rng::fnv1a;
 use simclock::SimDuration;
 use std::collections::BTreeSet;
@@ -111,6 +111,8 @@ pub struct SweepGrid {
     pub seeds: Vec<u64>,
     /// Observer variations (defaults to a single baseline entry).
     pub tweaks: Vec<ObserverTweak>,
+    /// Churn regimes layered onto each period (defaults to baseline only).
+    pub scenarios: Vec<ChurnScenario>,
     /// Base seed mixed into every cell's campaign seed, so two sweeps over
     /// the same grid can still be decorrelated.
     pub base_seed: u64,
@@ -118,13 +120,14 @@ pub struct SweepGrid {
 
 impl SweepGrid {
     /// Creates a grid over `periods` with one default scale (0.01), seeds
-    /// `1..=4` and the baseline observer configuration.
+    /// `1..=4`, the baseline observer configuration and baseline churn.
     pub fn new(periods: Vec<MeasurementPeriod>) -> Self {
         SweepGrid {
             periods,
             scales: vec![0.01],
             seeds: (1..=4).collect(),
             tweaks: vec![ObserverTweak::default()],
+            scenarios: vec![ChurnScenario::Baseline],
             base_seed: 0x5eed_0000,
         }
     }
@@ -153,6 +156,12 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the churn regimes (the fifth grid dimension).
+    pub fn with_scenarios(mut self, scenarios: Vec<ChurnScenario>) -> Self {
+        self.scenarios = scenarios;
+        self
+    }
+
     /// Replaces the base seed.
     pub fn with_base_seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
@@ -161,7 +170,11 @@ impl SweepGrid {
 
     /// Number of cells in the grid.
     pub fn cell_count(&self) -> usize {
-        self.periods.len() * self.scales.len() * self.seeds.len() * self.tweaks.len()
+        self.periods.len()
+            * self.scales.len()
+            * self.seeds.len()
+            * self.tweaks.len()
+            * self.scenarios.len()
     }
 
     /// Checks the grid for configurations that would produce a meaningless
@@ -206,37 +219,46 @@ impl SweepGrid {
                 return Err(format!("duplicate tweak label {:?}", tweak.label));
             }
         }
+        for (i, scenario) in self.scenarios.iter().enumerate() {
+            if self.scenarios[..i].iter().any(|s| s.label() == scenario.label()) {
+                return Err(format!("duplicate scenario {:?}", scenario.label()));
+            }
+        }
         Ok(())
     }
 
     /// Materialises the grid cells in deterministic order (period-major,
-    /// then tweak, then scale, then seed).
+    /// then scenario, then tweak, then scale, then seed).
     ///
     /// Campaign seeds are derived from each cell's own coordinates (period
-    /// label, tweak label, scale bits, seed) rather than grid positions, so
-    /// reordering or subsetting the grid leaves every surviving cell's seed —
-    /// and therefore its results — unchanged. Reproducing one cell in
-    /// isolation is a one-liner: a single-period/scale/seed grid with the
-    /// same base seed.
+    /// label, scenario label, tweak label, scale bits, seed) rather than
+    /// grid positions, so reordering or subsetting the grid leaves every
+    /// surviving cell's seed — and therefore its results — unchanged.
+    /// Reproducing one cell in isolation is a one-liner: a
+    /// single-period/scale/seed grid with the same base seed.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for &period in &self.periods {
-            for tweak in &self.tweaks {
-                for &scale in &self.scales {
-                    for &seed in &self.seeds {
-                        let mut mixed = splitmix(self.base_seed);
-                        mixed = splitmix(mixed ^ fnv1a(period.label()));
-                        mixed = splitmix(mixed ^ fnv1a(&tweak.label));
-                        mixed = splitmix(mixed ^ scale.to_bits());
-                        mixed = splitmix(mixed ^ seed);
-                        cells.push(SweepCell {
-                            index: cells.len(),
-                            period,
-                            scale,
-                            seed,
-                            tweak: tweak.clone(),
-                            campaign_seed: mixed,
-                        });
+            for scenario in &self.scenarios {
+                for tweak in &self.tweaks {
+                    for &scale in &self.scales {
+                        for &seed in &self.seeds {
+                            let mut mixed = splitmix(self.base_seed);
+                            mixed = splitmix(mixed ^ fnv1a(period.label()));
+                            mixed = splitmix(mixed ^ fnv1a(scenario.label()));
+                            mixed = splitmix(mixed ^ fnv1a(&tweak.label));
+                            mixed = splitmix(mixed ^ scale.to_bits());
+                            mixed = splitmix(mixed ^ seed);
+                            cells.push(SweepCell {
+                                index: cells.len(),
+                                period,
+                                scenario: scenario.clone(),
+                                scale,
+                                seed,
+                                tweak: tweak.clone(),
+                                campaign_seed: mixed,
+                            });
+                        }
                     }
                 }
             }
@@ -259,6 +281,8 @@ pub struct SweepCell {
     pub index: usize,
     /// The measurement period to reproduce.
     pub period: MeasurementPeriod,
+    /// The churn regime layered onto the period.
+    pub scenario: ChurnScenario,
     /// Population scale.
     pub scale: f64,
     /// The grid seed (the "replicate number").
@@ -277,7 +301,8 @@ impl SweepCell {
     pub fn run(&self) -> MeasurementCampaign {
         let scenario = Scenario::new(self.period)
             .with_scale(self.scale)
-            .with_seed(self.campaign_seed);
+            .with_seed(self.campaign_seed)
+            .with_churn(self.scenario.clone());
         let mut built = scenario.build();
         for observer in &mut built.config.observers {
             if (self.tweak.limits_scale - 1.0).abs() > f64::EPSILON {
@@ -309,6 +334,8 @@ impl SweepCell {
 pub struct CellReport {
     /// Period label (`"P0"`, …).
     pub period: String,
+    /// Churn-scenario label (`"baseline"`, `"flashcrowd"`, …).
+    pub scenario: String,
     /// Population scale.
     pub scale: f64,
     /// Grid seed.
@@ -361,6 +388,7 @@ impl CellReport {
             .len() as u64;
         CellReport {
             period: cell.period.label().to_string(),
+            scenario: cell.scenario.label().to_string(),
             scale: cell.scale,
             seed: cell.seed,
             tweak: cell.tweak.label.clone(),
@@ -381,6 +409,7 @@ impl CellReport {
     fn to_json(&self) -> Json {
         let mut obj = Json::object();
         obj.insert("period", self.period.as_str());
+        obj.insert("scenario", self.scenario.as_str());
         obj.insert("scale", self.scale);
         obj.insert("seed", self.seed);
         obj.insert("tweak", self.tweak.as_str());
@@ -450,11 +479,14 @@ impl MetricSummary {
     }
 }
 
-/// Cross-seed aggregation for one `(period, scale, tweak)` configuration.
+/// Cross-seed aggregation for one `(period, scenario, scale, tweak)`
+/// configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregateRow {
     /// Period label.
     pub period: String,
+    /// Churn-scenario label.
+    pub scenario: String,
     /// Population scale.
     pub scale: f64,
     /// Observer-tweak label.
@@ -479,6 +511,7 @@ impl AggregateRow {
     fn to_json(&self) -> Json {
         let mut obj = Json::object();
         obj.insert("period", self.period.as_str());
+        obj.insert("scenario", self.scenario.as_str());
         obj.insert("scale", self.scale);
         obj.insert("tweak", self.tweak.as_str());
         obj.insert("seeds", self.seeds);
@@ -508,19 +541,27 @@ impl SweepReport {
         let mut aggregates: Vec<AggregateRow> = Vec::new();
         // Group scales by bit pattern, not f64 equality, so even a rogue NaN
         // scale groups with itself instead of producing empty aggregates.
-        let mut keys: Vec<(String, u64, String)> = Vec::new();
+        let mut keys: Vec<(String, String, u64, String)> = Vec::new();
         for cell in &cells {
-            let key = (cell.period.clone(), cell.scale.to_bits(), cell.tweak.clone());
+            let key = (
+                cell.period.clone(),
+                cell.scenario.clone(),
+                cell.scale.to_bits(),
+                cell.tweak.clone(),
+            );
             if !keys.contains(&key) {
                 keys.push(key);
             }
         }
-        for (period, scale_bits, tweak) in keys {
+        for (period, scenario, scale_bits, tweak) in keys {
             let scale = f64::from_bits(scale_bits);
             let group: Vec<&CellReport> = cells
                 .iter()
                 .filter(|c| {
-                    c.period == period && c.scale.to_bits() == scale_bits && c.tweak == tweak
+                    c.period == period
+                        && c.scenario == scenario
+                        && c.scale.to_bits() == scale_bits
+                        && c.tweak == tweak
                 })
                 .collect();
             let values = |f: &dyn Fn(&CellReport) -> f64| -> MetricSummary {
@@ -529,6 +570,7 @@ impl SweepReport {
             };
             aggregates.push(AggregateRow {
                 period,
+                scenario,
                 scale,
                 tweak,
                 seeds: group.len(),
@@ -574,13 +616,14 @@ impl SweepReport {
     /// columns — the form used for Table II / Fig. 7 error bars.
     pub fn summary_table(&self) -> String {
         let header = [
-            "Period", "Scale", "Tweak", "Seeds", "Conns", "Avg[s]", "Median[s]", "PIDs", "IPgroups",
+            "Period", "Scenario", "Scale", "Tweak", "Seeds", "Conns", "Avg[s]", "Median[s]", "PIDs", "IPgroups",
         ];
         let mut rows: Vec<Vec<String>> = vec![header.iter().map(|s| s.to_string()).collect()];
         for agg in &self.aggregates {
             let pm = |m: &MetricSummary| format!("{:.1}±{:.1}", m.mean, m.ci95);
             rows.push(vec![
                 agg.period.clone(),
+                agg.scenario.clone(),
                 format!("{}", agg.scale),
                 agg.tweak.clone(),
                 agg.seeds.to_string(),
@@ -856,6 +899,38 @@ mod tests {
         assert!(SweepGrid::new(vec![MeasurementPeriod::P1, MeasurementPeriod::P1])
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn scenario_axis_expands_the_grid_and_shifts_results() {
+        let grid = SweepGrid::new(vec![MeasurementPeriod::P1])
+            .with_scales(vec![0.003])
+            .with_seed_count(2)
+            .with_scenarios(vec![
+                ChurnScenario::Baseline,
+                ChurnScenario::flash_crowd(),
+            ]);
+        assert_eq!(grid.cell_count(), 4);
+        assert!(grid.validate().is_ok());
+        let report = run_sweep(&grid);
+        assert_eq!(report.aggregates.len(), 2, "one row per scenario");
+        let baseline = report.aggregates.iter().find(|a| a.scenario == "baseline").unwrap();
+        let flash = report.aggregates.iter().find(|a| a.scenario == "flashcrowd").unwrap();
+        assert!(
+            flash.pids.mean > baseline.pids.mean,
+            "a flash crowd must inflate observed PIDs ({} vs {})",
+            flash.pids.mean,
+            baseline.pids.mean
+        );
+        // Scenario labels survive into cells, JSON and the text table.
+        assert!(report.cells.iter().any(|c| c.scenario == "flashcrowd"));
+        let json = jsonio::Json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(json.array_field("aggregates").unwrap().len(), 2);
+        assert!(report.summary_table().contains("flashcrowd"));
+        // Duplicate scenarios are rejected like any other dimension.
+        let dup = SweepGrid::new(vec![MeasurementPeriod::P1])
+            .with_scenarios(vec![ChurnScenario::Baseline, ChurnScenario::Baseline]);
+        assert!(dup.validate().unwrap_err().contains("duplicate scenario"));
     }
 
     #[test]

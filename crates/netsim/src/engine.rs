@@ -16,7 +16,7 @@
 
 use crate::config::{NetworkConfig, ObserverSpec};
 use crate::events::{GroundTruth, GroundTruthEvent, ObservedEvent, ObserverLog};
-use crate::spec::{MetadataChange, RemotePeerSpec};
+use crate::spec::{MetadataChange, PopulationAction, PopulationEvent, RemotePeerSpec};
 use p2pmodel::{
     protocol::well_known, CloseReason, ConnectionId, ConnectionManager, Direction, IdentifyInfo,
     ProtocolId,
@@ -50,11 +50,15 @@ enum SimEvent {
     Maintenance { observer: usize },
     Metadata { peer: usize, change_idx: usize },
     GossipDiscover { peer: usize, observer: usize },
+    Population(usize),
 }
 
 /// Per-peer runtime state.
 struct PeerState {
     online: bool,
+    /// Retired peers (rotated-away or scripted leavers) never come back
+    /// online, whatever their session pattern says.
+    retired: bool,
     identify: IdentifyInfo,
     next_session_end: Option<SimTime>,
     next_change: usize,
@@ -147,15 +151,28 @@ impl OnlineServers {
 pub struct Network {
     config: NetworkConfig,
     peers: Vec<RemotePeerSpec>,
+    population_events: Vec<PopulationEvent>,
 }
 
 impl Network {
     /// Creates a network from a configuration and a population.
     pub fn new(config: NetworkConfig, peers: Vec<RemotePeerSpec>) -> Self {
-        Network { config, peers }
+        Network {
+            config,
+            peers,
+            population_events: Vec::new(),
+        }
     }
 
-    /// Number of peers in the population.
+    /// Adds a scripted stream of mid-run population mutations (scenario
+    /// churn: join/leave/rotate batches). Events must be sorted by time;
+    /// same-time events apply in stream order.
+    pub fn with_population_events(mut self, events: Vec<PopulationEvent>) -> Self {
+        self.population_events = events;
+        self
+    }
+
+    /// Number of peers in the initial population (scripted joins excluded).
     pub fn population_size(&self) -> usize {
         self.peers.len()
     }
@@ -163,7 +180,7 @@ impl Network {
     /// Runs the simulation to completion and returns the observation logs and
     /// ground truth.
     pub fn run(self) -> SimulationOutput {
-        Runner::new(self.config, self.peers).run()
+        Runner::new(self.config, self.peers, self.population_events).run()
     }
 }
 
@@ -173,24 +190,36 @@ struct Runner {
     queue: EventQueue<SimEvent>,
     peers: Vec<RemotePeerSpec>,
     peer_states: Vec<PeerState>,
+    peer_index: HashMap<p2pmodel::PeerId, usize>,
     observers: Vec<ObserverState>,
     online_servers: OnlineServers,
     ground_truth: GroundTruth,
+    population_events: Vec<PopulationEvent>,
     next_conn_id: u64,
 }
 
 impl Runner {
-    fn new(config: NetworkConfig, peers: Vec<RemotePeerSpec>) -> Self {
+    fn new(
+        config: NetworkConfig,
+        peers: Vec<RemotePeerSpec>,
+        population_events: Vec<PopulationEvent>,
+    ) -> Self {
         let end = config.end_time();
         let rng = SimRng::seed_from(config.seed);
         let peer_states = peers
             .iter()
             .map(|spec| PeerState {
                 online: false,
+                retired: false,
                 identify: spec.identify.clone(),
                 next_session_end: None,
                 next_change: 0,
             })
+            .collect();
+        let peer_index = peers
+            .iter()
+            .enumerate()
+            .map(|(idx, spec)| (spec.peer_id, idx))
             .collect();
         let observers = config
             .observers
@@ -236,9 +265,11 @@ impl Runner {
             queue: EventQueue::new(),
             peers,
             peer_states,
+            peer_index,
             observers,
             online_servers: OnlineServers::with_capacity(population),
             ground_truth,
+            population_events,
             next_conn_id: 0,
         }
     }
@@ -278,6 +309,9 @@ impl Runner {
                 ));
             }
         }
+        for (idx, event) in self.population_events.iter().enumerate() {
+            batch.push((event.at, SimEvent::Population(idx)));
+        }
         for obs_idx in 0..self.observers.len() {
             let interval = self.observers[obs_idx].spec.maintenance_interval;
             batch.push((
@@ -316,11 +350,12 @@ impl Runner {
             SimEvent::GossipDiscover { peer, observer } => {
                 self.handle_gossip(now, peer, observer)
             }
+            SimEvent::Population(idx) => self.handle_population(now, idx),
         }
     }
 
     fn handle_peer_online(&mut self, now: SimTime, peer: usize) {
-        if self.peer_states[peer].online {
+        if self.peer_states[peer].online || self.peer_states[peer].retired {
             return;
         }
         self.peer_states[peer].online = true;
@@ -370,7 +405,11 @@ impl Runner {
                 self.close_connection(now, obs_idx, conn, CloseReason::PeerLeft, false);
             }
         }
-        // Schedule the next session, if the pattern rejoins.
+        // Schedule the next session, if the pattern rejoins (retired peers
+        // never do — a rotated-away PID must not resurrect).
+        if self.peer_states[peer].retired {
+            return;
+        }
         let next = {
             let spec = &self.peers[peer];
             spec.session.next_session(now, &mut self.rng)
@@ -378,6 +417,90 @@ impl Runner {
         if let Some((start, end)) = next {
             self.peer_states[peer].next_session_end = end;
             self.queue.schedule(start, SimEvent::PeerOnline(peer));
+        }
+    }
+
+    fn handle_population(&mut self, now: SimTime, idx: usize) {
+        // Move the action out so the (possibly large) join batches are not
+        // cloned; each population event fires exactly once.
+        let action = std::mem::replace(
+            &mut self.population_events[idx].action,
+            PopulationAction::Leave(Vec::new()),
+        );
+        match action {
+            PopulationAction::Join(specs) => self.admit_peers(now, specs),
+            PopulationAction::Leave(peers) => self.retire_peers(now, &peers),
+            PopulationAction::Rotate { retire, join } => {
+                self.retire_peers(now, &retire);
+                self.admit_peers(now, join);
+            }
+        }
+    }
+
+    /// Adds new peers to the running simulation. Session patterns and
+    /// metadata-change schedules are interpreted relative to `now`.
+    fn admit_peers(&mut self, now: SimTime, specs: Vec<RemotePeerSpec>) {
+        for spec in specs {
+            let idx = self.peers.len();
+            self.ground_truth.peers.push((spec.peer_id, spec.is_dht_server()));
+            self.peer_index.insert(spec.peer_id, idx);
+            let (start, session_end) = spec.session.first_session(&mut self.rng);
+            let start = now + (start - SimTime::ZERO);
+            let session_end = session_end.map(|end| now + (end - SimTime::ZERO));
+            self.peer_states.push(PeerState {
+                online: false,
+                retired: false,
+                identify: spec.identify.clone(),
+                next_session_end: session_end,
+                next_change: 0,
+            });
+            self.queue.schedule(start, SimEvent::PeerOnline(idx));
+            for (change_idx, change) in spec.changes.iter().enumerate() {
+                self.queue.schedule(
+                    now + (change.at - SimTime::ZERO),
+                    SimEvent::Metadata {
+                        peer: idx,
+                        change_idx,
+                    },
+                );
+            }
+            // Gossip discovery, as in the initial batch, over the rest of
+            // the run.
+            let visibility = spec.gossip_visibility;
+            for obs_idx in 0..self.observers.len() {
+                if visibility > 0.0 && self.rng.chance(visibility) && now < self.end {
+                    let at = SimTime::from_millis(self.rng.uniform_u64(
+                        now.as_millis(),
+                        self.end.as_millis().max(now.as_millis() + 1),
+                    ));
+                    self.queue.schedule(
+                        at,
+                        SimEvent::GossipDiscover {
+                            peer: idx,
+                            observer: obs_idx,
+                        },
+                    );
+                }
+            }
+            self.peers.push(spec);
+        }
+    }
+
+    /// Permanently retires the named peers: forces them offline and blocks
+    /// any future session of theirs. Unknown PIDs are ignored.
+    fn retire_peers(&mut self, now: SimTime, peers: &[p2pmodel::PeerId]) {
+        for peer_id in peers {
+            let Some(&idx) = self.peer_index.get(peer_id) else {
+                continue;
+            };
+            if self.peer_states[idx].retired {
+                continue;
+            }
+            self.peer_states[idx].retired = true;
+            // Force the peer offline through the regular path so connections
+            // close with PeerLeft and ground truth records the departure;
+            // `retired` suppresses the rejoin scheduling.
+            self.handle_peer_offline(now, idx);
         }
     }
 
@@ -484,6 +607,12 @@ impl Runner {
     }
 
     fn handle_gossip(&mut self, now: SimTime, peer: usize, observer: usize) {
+        // Routing gossip about a permanently departed peer stops circulating;
+        // without this guard a pre-scheduled discovery could resurrect a
+        // retired PID in the observer's Peerstore.
+        if self.peer_states[peer].retired {
+            return;
+        }
         let peer_id = self.peers[peer].peer_id;
         let addr = self.peers[peer].addr;
         self.observers[observer]
@@ -907,6 +1036,130 @@ mod tests {
             inbound > outbound,
             "passive nodes receive vastly more inbound than outbound connections"
         );
+    }
+
+    #[test]
+    fn joined_peers_appear_and_connect_after_the_batch() {
+        let config = NetworkConfig::single_observer(
+            21,
+            SimDuration::from_hours(2),
+            observer(ConnLimits::new(100, 200), DhtRole::Server),
+        );
+        let late: Vec<_> = (100..120).map(peer).collect();
+        let late_ids: Vec<PeerId> = late.iter().map(|p| p.peer_id).collect();
+        let output = Network::new(config, (0..10).map(peer).collect())
+            .with_population_events(vec![PopulationEvent {
+                at: SimTime::from_hours(1),
+                action: PopulationAction::Join(late),
+            }])
+            .run();
+        assert_eq!(output.ground_truth.population_size(), 30);
+        // No event involving a late peer may predate the batch.
+        for event in &output.logs[0].events {
+            if late_ids.contains(&event.peer()) {
+                assert!(event.at() >= SimTime::from_hours(1));
+            }
+        }
+        // And the late peers do connect.
+        let connected: Vec<_> = output.logs[0]
+            .connections()
+            .into_iter()
+            .filter(|c| late_ids.contains(&c.peer))
+            .collect();
+        assert!(!connected.is_empty(), "joined peers must dial the observer");
+    }
+
+    #[test]
+    fn left_peers_never_return() {
+        let victims: Vec<PeerId> = (0..10).map(PeerId::derived).collect();
+        let config = NetworkConfig::single_observer(
+            22,
+            SimDuration::from_hours(3),
+            observer(ConnLimits::new(100, 200), DhtRole::Server),
+        );
+        let leave_at = SimTime::from_hours(1);
+        let output = Network::new(config, (0..20).map(peer).collect())
+            .with_population_events(vec![PopulationEvent {
+                at: leave_at,
+                action: PopulationAction::Leave(victims.clone()),
+            }])
+            .run();
+        // Ground truth shows the victims offline from the leave batch on.
+        let online = output.ground_truth.online_at(SimTime::from_hours(2));
+        for (peer, _) in &online {
+            assert!(!victims.contains(peer), "left peer {peer:?} still online");
+        }
+        // No connection to a victim opens after the leave.
+        for conn in output.logs[0].connections() {
+            if victims.contains(&conn.peer) {
+                assert!(conn.opened_at < leave_at);
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_pids_never_resurrect() {
+        let old = peer(0);
+        let old_id = old.peer_id;
+        let fresh = peer(900);
+        let fresh_id = fresh.peer_id;
+        let config = NetworkConfig::single_observer(
+            23,
+            SimDuration::from_hours(2),
+            observer(ConnLimits::new(50, 100), DhtRole::Server),
+        );
+        let rotate_at = SimTime::from_secs(30 * 60);
+        let output = Network::new(config, vec![old])
+            .with_population_events(vec![PopulationEvent {
+                at: rotate_at,
+                action: PopulationAction::Rotate {
+                    retire: vec![old_id],
+                    join: vec![fresh],
+                },
+            }])
+            .run();
+        assert_eq!(output.ground_truth.population_size(), 2);
+        let log = &output.logs[0];
+        for event in &log.events {
+            if event.peer() == old_id {
+                assert!(
+                    event.at() <= rotate_at,
+                    "retired PID produced an event after rotation: {event:?}"
+                );
+            }
+            if event.peer() == fresh_id {
+                assert!(event.at() >= rotate_at);
+            }
+        }
+        // The replacement actually shows up.
+        assert!(log.events.iter().any(|e| e.peer() == fresh_id));
+    }
+
+    #[test]
+    fn population_events_preserve_seed_determinism() {
+        let make = || {
+            let config = NetworkConfig::single_observer(
+                24,
+                SimDuration::from_hours(2),
+                observer(ConnLimits::new(20, 40), DhtRole::Server),
+            );
+            Network::new(config, (0..30).map(peer).collect())
+                .with_population_events(vec![
+                    PopulationEvent {
+                        at: SimTime::from_secs(20 * 60),
+                        action: PopulationAction::Join((50..60).map(peer).collect()),
+                    },
+                    PopulationEvent {
+                        at: SimTime::from_secs(40 * 60),
+                        action: PopulationAction::Leave(vec![PeerId::derived(1), PeerId::derived(2)]),
+                    },
+                ])
+                .run()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.logs[0].events, b.logs[0].events);
+        assert_eq!(a.ground_truth, b.ground_truth);
     }
 
     #[test]

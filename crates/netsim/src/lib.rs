@@ -35,4 +35,7 @@ pub mod spec;
 pub use config::{DhtRole, NetworkConfig, ObserverSpec};
 pub use engine::{Network, SimulationOutput};
 pub use events::{GroundTruth, GroundTruthEvent, ObservedEvent, ObserverLog};
-pub use spec::{DialBehavior, MetadataChange, RemotePeerSpec, ScheduledChange, SessionPattern};
+pub use spec::{
+    DialBehavior, MetadataChange, PopulationAction, PopulationEvent, RemotePeerSpec,
+    ScheduledChange, SessionPattern,
+};

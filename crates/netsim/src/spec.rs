@@ -193,6 +193,41 @@ pub struct ScheduledChange {
     pub change: MetadataChange,
 }
 
+/// A scripted mutation of the peer population, applied mid-run.
+///
+/// Churn scenarios (diurnal waves, flash crowds, PID-rotation floods, …) are
+/// expressed as streams of these actions layered on top of a base
+/// population; the engine injects them through its event queue, so they
+/// interleave deterministically with the ordinary session/dial/trim events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PopulationAction {
+    /// New peers join the network. Their session patterns and scheduled
+    /// metadata changes are interpreted *relative to the injection time*
+    /// (an `arrival_secs` of 0 means "online at the moment of the batch").
+    Join(Vec<RemotePeerSpec>),
+    /// The named peers leave permanently: they are forced offline and their
+    /// session patterns never rejoin. Unknown PIDs are ignored.
+    Leave(Vec<PeerId>),
+    /// An operator cycles its identity: the `retire`d PIDs leave permanently
+    /// and the `join` replacements enter in the same instant (the paper's
+    /// rotating-PID operator behind a single IP).
+    Rotate {
+        /// PIDs retired by the rotation.
+        retire: Vec<PeerId>,
+        /// Replacement peers joining in the same instant.
+        join: Vec<RemotePeerSpec>,
+    },
+}
+
+/// A [`PopulationAction`] scheduled for a specific simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationEvent {
+    /// When the action is applied.
+    pub at: SimTime,
+    /// The population mutation.
+    pub action: PopulationAction,
+}
+
 /// Everything the simulator needs to know about one remote peer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemotePeerSpec {

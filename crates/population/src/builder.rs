@@ -148,6 +148,12 @@ pub struct Population {
     pub specs: Vec<RemotePeerSpec>,
     /// The archetype of each peer, parallel to `specs`.
     pub archetypes: Vec<Archetype>,
+    /// Ground-truth number of *participants* behind the PIDs: every peer
+    /// counts once, except that all rotator PIDs belong to one operator and
+    /// hydra heads collapse to their co-located hosts. This is the baseline
+    /// Section V's estimators are trying to approach, and what
+    /// `analysis::robustness` measures estimator error against.
+    pub participants: usize,
 }
 
 impl Population {
@@ -350,7 +356,26 @@ impl PopulationBuilder {
         add_many(Archetype::OneTimeUser, self.mix.rotator_pids, Some(0.0), true, &mut specs, &mut archetypes, &mut ips, &mut rng, &mut next_label);
         add_many(Archetype::EthereumNode, self.mix.ethereum_nodes, None, false, &mut specs, &mut archetypes, &mut ips, &mut rng, &mut next_label);
 
-        Population { specs, archetypes }
+        // Ground-truth participants: rotator PIDs collapse to one operator,
+        // hydra heads to their co-located hosts (blocks of
+        // HYDRA_HEADS_PER_IP on at most 11 addresses).
+        let hydra_hosts = if self.mix.hydra_heads == 0 {
+            0
+        } else {
+            self.mix
+                .hydra_heads
+                .div_ceil(IpAllocator::HYDRA_HEADS_PER_IP)
+                .min(11)
+        };
+        let participants = specs.len() - self.mix.hydra_heads + hydra_hosts
+            - self.mix.rotator_pids
+            + usize::from(self.mix.rotator_pids > 0);
+
+        Population {
+            specs,
+            archetypes,
+            participants,
+        }
     }
 }
 
@@ -478,6 +503,20 @@ mod tests {
                 assert!(spec.identify.protocols.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn participants_collapse_rotators_and_hydra_hosts() {
+        let population = small_population();
+        let mix = PopulationMix::paper_scale().scaled(0.02);
+        let hydra_hosts = mix.hydra_heads.div_ceil(IpAllocator::HYDRA_HEADS_PER_IP).min(11);
+        let expected = population.len() - mix.hydra_heads + hydra_hosts - mix.rotator_pids + 1;
+        assert_eq!(population.participants, expected);
+        assert!(population.participants < population.len());
+        // At paper scale the collapse removes ~2 155 rotator PIDs and
+        // ~1 017 hydra heads.
+        let full = PopulationBuilder::new(1).build();
+        assert!(full.len() - full.participants > 3_000);
     }
 
     #[test]

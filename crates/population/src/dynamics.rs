@@ -14,7 +14,7 @@
 //! [`ScheduledChange`]s for the simulator.
 
 use crate::agents;
-use netsim::{MetadataChange, ScheduledChange};
+use netsim::{MetadataChange, ScheduledChange, SessionPattern};
 use p2pmodel::agent::{AgentVersion, VersionFlavor};
 use p2pmodel::protocol::well_known;
 use simclock::{SimDuration, SimRng, SimTime};
@@ -175,6 +175,52 @@ pub fn peer_change_schedule(
     changes
 }
 
+/// A session pattern for a peer riding a diurnal wave: online roughly
+/// `daylight_hours` per day, offline the rest, with a per-peer jitter of up
+/// to `jitter_hours` on the first appearance so the cohort ramps in rather
+/// than arriving as a single spike.
+///
+/// The resulting pattern is [`SessionPattern::Intermittent`] with a small
+/// shape parameter, so the cohort's sessions stay synchronised to the day
+/// cycle instead of diffusing into uncorrelated churn.
+pub fn diurnal_session(
+    daylight_hours: f64,
+    jitter_hours: f64,
+    rng: &mut SimRng,
+) -> SessionPattern {
+    let daylight = daylight_hours.clamp(1.0, 23.0);
+    SessionPattern::Intermittent {
+        online_median_secs: daylight * 3600.0,
+        offline_median_secs: (24.0 - daylight) * 3600.0,
+        sigma: 0.2,
+        initial_delay_secs: rng.unit() * jitter_hours.max(0.0) * 3600.0,
+    }
+}
+
+/// The instants at which a rotating-PID operator cycles its identity:
+/// `count` evenly spaced times in `[start, end)`, each nudged by up to
+/// ±10 % of the spacing so rotations do not align with other periodic
+/// events (maintenance passes, crawl rounds).
+pub fn rotation_times(
+    start: SimTime,
+    end: SimTime,
+    count: usize,
+    rng: &mut SimRng,
+) -> Vec<SimTime> {
+    if count == 0 || end <= start {
+        return Vec::new();
+    }
+    let span = (end - start).as_secs_f64();
+    let spacing = span / count as f64;
+    (0..count)
+        .map(|k| {
+            let nudge = (rng.unit() - 0.5) * 0.2 * spacing;
+            let offset = (k as f64 * spacing + nudge).clamp(0.0, (span - 1.0).max(0.0));
+            start + SimDuration::from_secs_f64(offset)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +344,48 @@ mod tests {
         for pair in schedule.windows(2) {
             assert!(pair[0].at <= pair[1].at);
         }
+    }
+
+    #[test]
+    fn diurnal_sessions_track_the_day_cycle() {
+        let mut rng = SimRng::seed_from(8);
+        for _ in 0..50 {
+            let SessionPattern::Intermittent {
+                online_median_secs,
+                offline_median_secs,
+                sigma,
+                initial_delay_secs,
+            } = diurnal_session(11.0, 3.0, &mut rng)
+            else {
+                panic!("diurnal sessions are intermittent");
+            };
+            assert_eq!(online_median_secs, 11.0 * 3600.0);
+            assert_eq!(offline_median_secs, 13.0 * 3600.0);
+            assert!(sigma < 0.5, "the cohort must stay synchronised");
+            assert!((0.0..=3.0 * 3600.0).contains(&initial_delay_secs));
+        }
+        // Degenerate daylight values are clamped, not panicking.
+        let _ = diurnal_session(0.0, -1.0, &mut rng);
+        let _ = diurnal_session(30.0, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn rotation_times_are_ordered_and_bounded() {
+        let mut rng = SimRng::seed_from(9);
+        let start = SimTime::from_hours(5);
+        let end = SimTime::from_hours(29);
+        let times = rotation_times(start, end, 40, &mut rng);
+        assert_eq!(times.len(), 40);
+        for pair in times.windows(2) {
+            assert!(pair[0] <= pair[1], "rotations must be ordered");
+        }
+        assert!(times.iter().all(|t| *t >= start && *t < end));
+        assert!(rotation_times(start, start, 10, &mut rng).is_empty());
+        assert!(rotation_times(start, end, 0, &mut rng).is_empty());
+        // Sub-second spans must not panic (clamp bounds stay ordered).
+        let tiny = rotation_times(start, start + SimDuration::from_millis(500), 3, &mut rng);
+        assert_eq!(tiny.len(), 3);
+        assert!(tiny.iter().all(|t| *t >= start));
     }
 
     #[test]

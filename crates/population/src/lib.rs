@@ -23,6 +23,9 @@
 //!   into `Vec<RemotePeerSpec>` for the simulator.
 //! * [`scenario`] — the measurement periods of Table I (P0–P4) and the
 //!   14-day extension run.
+//! * [`scenarios`] — adversarial and dynamic churn regimes (diurnal waves,
+//!   flash crowds, mass exits, PID-rotation floods, NAT churn) compiled
+//!   into deterministic mid-run population-event streams.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,7 +36,9 @@ pub mod builder;
 pub mod dynamics;
 pub mod ip;
 pub mod scenario;
+pub mod scenarios;
 
 pub use archetype::Archetype;
 pub use builder::{Population, PopulationBuilder, PopulationMix};
 pub use scenario::{MeasurementPeriod, Scenario, ScenarioRun};
+pub use scenarios::ChurnScenario;

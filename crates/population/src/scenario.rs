@@ -7,7 +7,8 @@
 //! produces everything needed to run the simulation.
 
 use crate::builder::{Population, PopulationBuilder};
-use netsim::{DhtRole, NetworkConfig, ObserverSpec};
+use crate::scenarios::ChurnScenario;
+use netsim::{DhtRole, NetworkConfig, ObserverSpec, PopulationEvent};
 use p2pmodel::{ConnLimits, IpAddress, Multiaddr, PeerId};
 use simclock::{SimDuration, SimRng};
 
@@ -121,7 +122,8 @@ impl std::fmt::Display for MeasurementPeriod {
     }
 }
 
-/// A runnable scenario: a measurement period, a seed and a population scale.
+/// A runnable scenario: a measurement period, a seed, a population scale and
+/// an optional churn regime layered on top.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Which measurement period to reproduce.
@@ -131,16 +133,20 @@ pub struct Scenario {
     /// Population scale relative to the paper's network (1.0 ≈ 65 k PIDs
     /// over three days; experiments typically use 0.05–0.2).
     pub scale: f64,
+    /// The churn regime layered onto the period
+    /// ([`ChurnScenario::Baseline`] reproduces the paper's benign churn).
+    pub churn: ChurnScenario,
 }
 
 impl Scenario {
-    /// Creates a scenario for the given period with a default seed and a
-    /// laptop-friendly scale of 0.05.
+    /// Creates a scenario for the given period with a default seed, a
+    /// laptop-friendly scale of 0.05 and baseline churn.
     pub fn new(period: MeasurementPeriod) -> Self {
         Scenario {
             period,
             seed: 0x1975_2022,
             scale: 0.05,
+            churn: ChurnScenario::Baseline,
         }
     }
 
@@ -153,6 +159,12 @@ impl Scenario {
     /// Returns a copy with a different population scale.
     pub fn with_scale(mut self, scale: f64) -> Self {
         self.scale = scale;
+        self
+    }
+
+    /// Returns a copy with the given churn regime layered on top.
+    pub fn with_churn(mut self, churn: ChurnScenario) -> Self {
+        self.churn = churn;
         self
     }
 
@@ -223,17 +235,31 @@ impl Scenario {
             .build()
     }
 
+    /// Compiles the scenario's churn regime into its population-event
+    /// stream over the given base population.
+    pub fn population_events(&self, population: &Population) -> Vec<PopulationEvent> {
+        self.churn
+            .events(self.seed, self.scale, self.period.duration(), population)
+    }
+
     /// Builds everything needed to run the scenario.
     pub fn build(&self) -> ScenarioRun {
+        let population = self.population();
+        let events = self.population_events(&population);
+        let ground_truth_participants =
+            population.participants + self.churn.participants_added(self.scale);
         ScenarioRun {
             scenario: self.clone(),
             config: self.network_config(),
-            population: self.population(),
+            population,
+            events,
+            ground_truth_participants,
         }
     }
 }
 
-/// A fully materialised scenario: configuration plus population.
+/// A fully materialised scenario: configuration, population and the churn
+/// regime's event stream.
 #[derive(Debug, Clone)]
 pub struct ScenarioRun {
     /// The scenario this run was built from.
@@ -242,12 +268,20 @@ pub struct ScenarioRun {
     pub config: NetworkConfig,
     /// The generated population.
     pub population: Population,
+    /// Mid-run population mutations compiled from the churn regime
+    /// (empty for [`ChurnScenario::Baseline`]).
+    pub events: Vec<PopulationEvent>,
+    /// Ground-truth participant count (base population collapsed to
+    /// operators, plus the regime's injected participants).
+    pub ground_truth_participants: usize,
 }
 
 impl ScenarioRun {
     /// Runs the simulation and returns its output.
     pub fn simulate(self) -> netsim::SimulationOutput {
-        netsim::Network::new(self.config, self.population.specs).run()
+        netsim::Network::new(self.config, self.population.specs)
+            .with_population_events(self.events)
+            .run()
     }
 }
 
@@ -319,6 +353,29 @@ mod tests {
                 assert!(cpl < 3, "heads {i} and {j} share too long a prefix");
             }
         }
+    }
+
+    #[test]
+    fn churn_scenarios_attach_event_streams_and_participants() {
+        let baseline = Scenario::new(MeasurementPeriod::P4).with_scale(0.004).build();
+        assert!(baseline.events.is_empty());
+        assert_eq!(baseline.ground_truth_participants, baseline.population.participants);
+
+        let flood = Scenario::new(MeasurementPeriod::P4)
+            .with_scale(0.004)
+            .with_churn(ChurnScenario::pid_rotation_flood())
+            .build();
+        assert!(!flood.events.is_empty());
+        assert_eq!(
+            flood.ground_truth_participants,
+            flood.population.participants + 1,
+            "the whole rotation flood is one operator"
+        );
+        // Same seed and scale → same base population as the baseline run.
+        assert_eq!(flood.population.specs, baseline.population.specs);
+        // And the scenario run actually simulates end to end.
+        let output = flood.simulate();
+        assert!(output.ground_truth.population_size() > baseline.population.len());
     }
 
     #[test]

@@ -45,16 +45,21 @@ pub mod prelude {
     pub use analysis::{
         agent_histogram, classify_peers, connection_count_cdf, connection_stats,
         connection_timeline, direction_stats, fingerprint_groups, horizon_comparison, ip_grouping,
-        max_duration_cdf, network_size_estimate, pid_growth, protocol_histogram, role_switches,
-        version_changes, ConnectionClass,
+        max_duration_cdf, network_size_estimate, pid_growth, protocol_histogram, robustness_report,
+        role_switches, scenario_robustness, version_changes, ConnectionClass, RobustnessReport,
     };
     pub use measurement::{
-        run_period, run_scenario, run_sweep, ActiveCrawler, GoIpfsMonitor, HydraMonitor,
-        MeasurementCampaign, MeasurementDataset, ObserverTweak, SweepGrid, SweepReport,
-        SweepRunner,
+        run_period, run_scenario, run_scenario_suite, run_sweep, ActiveCrawler, GoIpfsMonitor,
+        HydraMonitor, MeasurementCampaign, MeasurementDataset, ObserverTweak, SweepGrid,
+        SweepReport, SweepRunner,
     };
-    pub use netsim::{DhtRole, Network, NetworkConfig, ObserverSpec, RemotePeerSpec};
+    pub use netsim::{
+        DhtRole, Network, NetworkConfig, ObserverSpec, PopulationAction, PopulationEvent,
+        RemotePeerSpec,
+    };
     pub use p2pmodel::{AgentVersion, ConnLimits, IdentifyInfo, Multiaddr, PeerId, ProtocolSet};
-    pub use population::{MeasurementPeriod, PopulationBuilder, PopulationMix, Scenario};
+    pub use population::{
+        ChurnScenario, MeasurementPeriod, PopulationBuilder, PopulationMix, Scenario,
+    };
     pub use simclock::{SimDuration, SimRng, SimTime};
 }

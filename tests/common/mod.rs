@@ -1,0 +1,50 @@
+//! Shared harness for the cross-crate integration tests.
+//!
+//! Each integration-test binary includes this module via `mod common;`. The
+//! harness pins the scale/seed every suite uses and caches campaigns per
+//! `(period, scenario)` so that tests sharing a configuration (six of the
+//! end-to-end tests run P4) pay for one simulation, not one each.
+
+#![allow(dead_code)] // not every test binary uses every helper
+
+use ipfs_passive_measurement::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The population scale every integration suite runs at (P4 at this scale is
+/// also the configuration the golden fixtures pin).
+pub const SCALE: f64 = 0.005;
+
+/// The seed every integration suite runs with.
+pub const SEED: u64 = 2022;
+
+fn cache() -> &'static Mutex<HashMap<(String, String), MeasurementCampaign>> {
+    static CACHE: OnceLock<Mutex<HashMap<(String, String), MeasurementCampaign>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs (or returns the cached result of) one measurement period at the
+/// shared [`SCALE`]/[`SEED`] under the given churn regime. The cache keys on
+/// the regime's full knobs, not just its label, so same-variant scenarios
+/// with different parameters never alias.
+pub fn scenario_campaign(period: MeasurementPeriod, churn: ChurnScenario) -> MeasurementCampaign {
+    let key = (period.label().to_string(), format!("{churn:?}"));
+    let mut cache = cache().lock().expect("campaign cache lock");
+    cache
+        .entry(key)
+        .or_insert_with(|| {
+            run_scenario(
+                Scenario::new(period)
+                    .with_scale(SCALE)
+                    .with_seed(SEED)
+                    .with_churn(churn),
+            )
+        })
+        .clone()
+}
+
+/// Runs (or returns the cached result of) one measurement period at the
+/// shared [`SCALE`]/[`SEED`] with baseline churn.
+pub fn campaign(period: MeasurementPeriod) -> MeasurementCampaign {
+    scenario_campaign(period, ChurnScenario::Baseline)
+}

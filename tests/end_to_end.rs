@@ -5,11 +5,11 @@
 use ipfs_passive_measurement::prelude::*;
 use simclock::SimDuration;
 
-const SCALE: f64 = 0.005;
-const SEED: u64 = 2022;
+mod common;
+use common::{campaign, scenario_campaign, SEED};
 
 fn p4() -> MeasurementCampaign {
-    run_period(MeasurementPeriod::P4, SCALE, SEED)
+    campaign(MeasurementPeriod::P4)
 }
 
 #[test]
@@ -89,8 +89,8 @@ fn table2_shape_avg_exceeds_median_and_inbound_dominates() {
 #[test]
 fn low_watermarks_produce_more_and_shorter_connections_than_high_ones() {
     // P0 (600/900 scaled) vs P2 (18k/20k scaled) — Table II's headline trend.
-    let p0 = run_period(MeasurementPeriod::P0, SCALE, SEED);
-    let p2 = run_period(MeasurementPeriod::P2, SCALE, SEED);
+    let p0 = campaign(MeasurementPeriod::P0);
+    let p2 = campaign(MeasurementPeriod::P2);
     let s0 = analysis::connection_stats(p0.go_ipfs.as_ref().unwrap());
     let s2 = analysis::connection_stats(p2.go_ipfs.as_ref().unwrap());
     // P0 runs three times as long but still produces disproportionately many
@@ -111,8 +111,8 @@ fn low_watermarks_produce_more_and_shorter_connections_than_high_ones() {
 
 #[test]
 fn dht_client_observer_matches_p3_shape() {
-    let p3 = run_period(MeasurementPeriod::P3, SCALE, SEED);
-    let p2 = run_period(MeasurementPeriod::P2, SCALE, SEED);
+    let p3 = campaign(MeasurementPeriod::P3);
+    let p2 = campaign(MeasurementPeriod::P2);
     let client = p3.go_ipfs.as_ref().unwrap();
     let server = p2.go_ipfs.as_ref().unwrap();
     assert!(client.pid_count() < server.pid_count());
@@ -127,7 +127,7 @@ fn dht_client_observer_matches_p3_shape() {
 
 #[test]
 fn fig2_passive_server_view_covers_crawler_for_multiday_periods() {
-    let campaign = run_period(MeasurementPeriod::P0, SCALE, SEED);
+    let campaign = campaign(MeasurementPeriod::P0);
     let comparison = analysis::horizon_comparison(&campaign);
     assert!(!comparison.passive.is_empty());
     assert!(comparison.crawler.crawls >= 8, "3 days / 8 h = 9 crawls");
@@ -141,7 +141,7 @@ fn fig2_passive_server_view_covers_crawler_for_multiday_periods() {
 
 #[test]
 fn hydra_union_is_a_superset_of_every_head() {
-    let campaign = run_period(MeasurementPeriod::P1, SCALE, SEED);
+    let campaign = campaign(MeasurementPeriod::P1);
     let union = campaign.hydra_union.as_ref().expect("P1 deploys hydra heads");
     for head in &campaign.hydra_heads {
         assert!(union.pid_count() >= head.pid_count());
@@ -239,7 +239,7 @@ fn fig6_pid_growth_is_monotone_and_keeps_growing() {
 
 #[test]
 fn dataset_json_roundtrip_through_the_real_pipeline() {
-    let campaign = run_period(MeasurementPeriod::P3, SCALE, SEED);
+    let campaign = campaign(MeasurementPeriod::P3);
     let dataset = campaign.primary();
     let json = dataset.to_json_string();
     let parsed = MeasurementDataset::from_json_str(&json).expect("roundtrip");
@@ -254,18 +254,49 @@ fn dataset_json_roundtrip_through_the_real_pipeline() {
 
 #[test]
 fn campaigns_are_reproducible_from_the_seed() {
-    let a = run_period(MeasurementPeriod::P3, SCALE, 99);
-    let b = run_period(MeasurementPeriod::P3, SCALE, 99);
+    let a = run_period(MeasurementPeriod::P3, common::SCALE, 99);
+    let b = run_period(MeasurementPeriod::P3, common::SCALE, 99);
     assert_eq!(a.primary().pid_count(), b.primary().pid_count());
     assert_eq!(a.primary().connection_count(), b.primary().connection_count());
     assert_eq!(
         analysis::connection_stats(a.primary()),
         analysis::connection_stats(b.primary())
     );
-    let c = run_period(MeasurementPeriod::P3, SCALE, 100);
+    let c = run_period(MeasurementPeriod::P3, common::SCALE, 100);
     assert_ne!(
         a.primary().connection_count(),
         c.primary().connection_count(),
         "different seeds should differ"
     );
+}
+
+#[test]
+fn scenario_campaigns_preserve_dataset_invariants() {
+    // The adversarial regimes must not break any internal consistency the
+    // baseline data sets guarantee.
+    for churn in [ChurnScenario::flash_crowd(), ChurnScenario::mass_exit()] {
+        let campaign = scenario_campaign(MeasurementPeriod::P4, churn.clone());
+        let dataset = campaign.primary();
+        let population: std::collections::BTreeSet<_> = campaign
+            .ground_truth
+            .peers
+            .iter()
+            .map(|(peer, _)| *peer)
+            .collect();
+        for conn in &dataset.connections {
+            assert!(conn.closed_at >= conn.opened_at, "{churn}: inverted connection");
+            assert!(conn.closed_at <= dataset.ended_at);
+            assert!(dataset.peers.contains_key(&conn.peer));
+        }
+        for peer in dataset.peers.keys() {
+            assert!(population.contains(peer), "{churn}: observed peer not in ground truth");
+        }
+        assert!(
+            campaign.ground_truth_participants <= campaign.ground_truth.population_size(),
+            "{churn}: participants can never exceed PIDs"
+        );
+        // Estimator ordering (the properties suite checks it in breadth).
+        let estimate = analysis::network_size_estimate(dataset);
+        assert!(estimate.by_ip_groups <= estimate.by_pids);
+    }
 }

@@ -1,0 +1,107 @@
+//! Golden-dataset regression tests for the scenario subsystem.
+//!
+//! These pin the determinism contract of docs/ARCHITECTURE.md end to end:
+//! P4 at SCALE = 0.005 under two adversarial regimes must reproduce the
+//! committed fixtures in `tests/golden/` *byte-identically*, at any thread
+//! count. Each fixture holds the scenario's robustness row plus an FNV-1a
+//! fingerprint of the primary data set's full JSON export, so any drift in
+//! the simulator, the monitors or the analyses fails loudly here.
+//!
+//! If a change intentionally alters simulation traces, regenerate the
+//! fixtures with `UPDATE_GOLDEN=1 cargo test --test golden_scenarios` and
+//! review the diff like any other code change.
+
+use ipfs_passive_measurement::prelude::*;
+use jsonio::Json;
+use simclock::rng::fnv1a;
+use std::path::PathBuf;
+
+mod common;
+use common::{SCALE, SEED};
+
+/// The regimes the fixtures pin: the flood stresses §V-A's collapse of a
+/// single-IP operator, the flash crowd stresses §V-B's one-time filtering.
+fn pinned_scenarios() -> Vec<ChurnScenario> {
+    vec![ChurnScenario::flash_crowd(), ChurnScenario::pid_rotation_flood()]
+}
+
+fn golden_path(scenario: &ChurnScenario) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("p4_s{SCALE}_{}.json", scenario.label()))
+}
+
+/// Renders the committed fixture content for one finished campaign.
+fn golden_string(campaign: &MeasurementCampaign) -> String {
+    let row = scenario_robustness(campaign);
+    let report = RobustnessReport { rows: vec![row] };
+    let Json::Object(fields) = report.to_json() else {
+        panic!("robustness report is an object");
+    };
+    let mut obj = Json::object();
+    obj.insert(
+        "dataset_fingerprint",
+        format!("{:016x}", fnv1a(&campaign.primary().to_json_string())),
+    );
+    for (key, value) in fields {
+        obj.insert(key, value);
+    }
+    let mut text = obj.to_string_pretty();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn p4_scenarios_reproduce_the_committed_fixtures_at_any_thread_count() {
+    let scenarios = pinned_scenarios();
+    let serial = run_scenario_suite(MeasurementPeriod::P4, SCALE, SEED, &scenarios, 1);
+    let parallel = run_scenario_suite(MeasurementPeriod::P4, SCALE, SEED, &scenarios, 2);
+    for ((scenario, a), b) in scenarios.iter().zip(&serial).zip(&parallel) {
+        let rendered = golden_string(a);
+        assert_eq!(
+            rendered,
+            golden_string(b),
+            "{scenario}: 1-thread and 2-thread runs must be byte-identical"
+        );
+        let path = golden_path(scenario);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+        }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_scenarios",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            committed,
+            "{scenario}: output drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn fixtures_are_valid_json_with_the_documented_schema() {
+    for scenario in pinned_scenarios() {
+        let path = golden_path(&scenario);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            // The reproduction test reports the actionable error.
+            continue;
+        };
+        let json = Json::parse(&text).expect("fixture parses");
+        assert!(json.str_field("dataset_fingerprint").is_ok());
+        let rows = json.array_field("rows").expect("rows array");
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.str_field("scenario").unwrap(), scenario.label());
+        assert_eq!(row.str_field("period").unwrap(), "P4");
+        for estimator in ["by_pids", "by_ip_groups", "core_lower_bound"] {
+            let e = row.field(estimator).unwrap();
+            assert!(e.u64_field("estimate").is_ok(), "{estimator} has an estimate");
+            assert!(e.u64_field("truth").is_ok());
+        }
+    }
+}
