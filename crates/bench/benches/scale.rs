@@ -1,0 +1,73 @@
+//! Benchmarks of the columnar observation pipeline at scale: raw engine
+//! throughput into counting sinks, the full sharded scale harness, and the
+//! columnar monitor ingest — the three layers `repro scale` composes.
+
+use bench::scale::{run_scale, smoke_config, synthetic_population, ScaleConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use measurement::GoIpfsMonitor;
+use netsim::{
+    CountingSink, DhtRole, Network, NetworkConfig, ObserverSpec,
+};
+use p2pmodel::{ConnLimits, PeerId};
+use std::hint::black_box;
+
+fn shard_network(cfg: &ScaleConfig) -> Network {
+    let population = synthetic_population(cfg, 0);
+    let observer = ObserverSpec::new(
+        "scale-observer",
+        PeerId::derived(u64::MAX - 1),
+        DhtRole::Server,
+        ConnLimits::new((population.len() / 8).max(64), (population.len() / 4).max(128)),
+    );
+    let config = NetworkConfig::single_observer(cfg.shard_seed(0), cfg.duration, observer);
+    Network::new(config, population)
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let cfg = ScaleConfig {
+        peers: 10_000,
+        shards: 1,
+        ..smoke_config()
+    };
+    c.bench_function("scale/engine_counting_sink_10k_peers", |b| {
+        b.iter(|| {
+            let run = shard_network(&cfg).run_with_sinks(vec![CountingSink::default()]);
+            black_box(run.sinks[0].total())
+        })
+    });
+    c.bench_function("scale/engine_columnar_table_10k_peers", |b| {
+        b.iter(|| {
+            let output = shard_network(&cfg).run();
+            black_box(output.logs[0].len())
+        })
+    });
+}
+
+fn bench_scale_harness(c: &mut Criterion) {
+    let cfg = smoke_config();
+    c.bench_function("scale/harness_4k_peers_4_shards", |b| {
+        b.iter(|| {
+            let report = run_scale(&cfg);
+            black_box(report.total_events)
+        })
+    });
+}
+
+fn bench_columnar_ingest(c: &mut Criterion) {
+    let cfg = ScaleConfig {
+        peers: 10_000,
+        shards: 1,
+        ..smoke_config()
+    };
+    let output = shard_network(&cfg).run();
+    c.bench_function("scale/goipfs_ingest_columnar_10k_peers", |b| {
+        b.iter(|| black_box(GoIpfsMonitor::new().ingest(&output.logs[0]).pid_count()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_throughput, bench_scale_harness, bench_columnar_ingest
+}
+criterion_main!(benches);

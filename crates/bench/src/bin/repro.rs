@@ -28,8 +28,20 @@
 //! cargo run --release -p bench --bin repro -- scenarios --period P4 --scale 0.005
 //! ```
 //!
-//! Sweep and scenario output is deterministic: the same configuration
-//! produces byte-identical JSON regardless of `--threads`.
+//! The `scale` subcommand runs the million-peer scale harness over the
+//! columnar observation pipeline: a sharded synthetic campaign reporting
+//! events/sec and bytes-per-event, compared against the pre-refactor enum
+//! representation, with the full report (including timing) written to
+//! `BENCH_scale.json`:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro -- scale                  # 1M peers
+//! cargo run --release -p bench --bin repro -- scale --peers 20000 --shards 8
+//! ```
+//!
+//! Sweep, scenario and scale stdout is deterministic: the same configuration
+//! produces byte-identical JSON regardless of `--threads` (timing numbers go
+//! to the `BENCH_scale.json` file and stderr only).
 //!
 //! Absolute values scale with the `--scale` factor (the paper measured the
 //! real ~48k-peer network); the *shapes* — orderings, ratios, crossovers —
@@ -102,6 +114,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("scenarios") {
         run_scenarios_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("scale") {
+        run_scale_command(&args[1..]);
         return;
     }
     let options = parse_args();
@@ -572,6 +588,101 @@ fn run_sweep_command(args: &[String]) {
     } else {
         println!("{}", report.to_json_string());
     }
+}
+
+// ---- the `scale` subcommand ------------------------------------------------
+
+fn scale_usage() -> ! {
+    eprintln!(
+        "usage: repro scale [--peers N] [--shards N] [--threads N] \
+         [--duration-mins M] [--seed N] [--compat-peers N] \
+         [--out BENCH_scale.json] [--no-file]"
+    );
+    std::process::exit(2);
+}
+
+fn run_scale_command(args: &[String]) {
+    use bench::scale::{run_scale_with_progress, ScaleConfig};
+
+    let mut cfg = ScaleConfig::default();
+    let mut out_path = String::from("BENCH_scale.json");
+    let mut write_file = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| scale_usage())
+        };
+        match args[i].as_str() {
+            "--peers" => {
+                cfg.peers = take(i).parse().unwrap_or_else(|_| scale_usage());
+                i += 2;
+            }
+            "--shards" => {
+                cfg.shards = take(i).parse().unwrap_or_else(|_| scale_usage());
+                i += 2;
+            }
+            "--threads" => {
+                cfg.threads = take(i).parse().unwrap_or_else(|_| scale_usage());
+                i += 2;
+            }
+            "--duration-mins" => {
+                let mins: u64 = take(i).parse().unwrap_or_else(|_| scale_usage());
+                cfg.duration = simclock::SimDuration::from_mins(mins);
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = take(i).parse().unwrap_or_else(|_| scale_usage());
+                i += 2;
+            }
+            "--compat-peers" => {
+                cfg.compat_peers = take(i).parse().unwrap_or_else(|_| scale_usage());
+                i += 2;
+            }
+            "--out" => {
+                out_path = take(i).to_string();
+                i += 2;
+            }
+            "--no-file" => {
+                write_file = false;
+                i += 1;
+            }
+            _ => scale_usage(),
+        }
+    }
+    if cfg.peers == 0 || cfg.shards == 0 || cfg.threads == 0 || cfg.compat_peers == 0 {
+        scale_usage();
+    }
+
+    eprintln!(
+        "# scale: {} peers in {} shards on {} threads, {} simulated",
+        cfg.peers, cfg.shards, cfg.threads, cfg.duration
+    );
+    let done = AtomicUsize::new(0);
+    let total = cfg.shards;
+    let report = run_scale_with_progress(&cfg, |shard| {
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[{finished}/{total}] shard {} ({} peers): {} events, checksum {:016x}",
+            shard.shard,
+            shard.peers,
+            shard.total_events(),
+            shard.checksum
+        );
+    });
+    eprintln!("# {}", report.summary());
+    if write_file {
+        let mut text = report.full_json().to_string_pretty();
+        text.push('\n');
+        if let Err(error) = std::fs::write(&out_path, text) {
+            eprintln!("failed to write {out_path}: {error}");
+            std::process::exit(1);
+        }
+        eprintln!("# full report (with timing) written to {out_path}");
+    }
+    // stdout carries only the deterministic fields, so two runs with
+    // different --threads can be compared byte-for-byte.
+    println!("{}", report.deterministic_json().to_string_pretty());
 }
 
 // ---- the `scenarios` subcommand --------------------------------------------

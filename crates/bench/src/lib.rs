@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scale;
+
 use measurement::{run_period, MeasurementCampaign};
 use population::MeasurementPeriod;
 use std::collections::HashMap;

@@ -69,12 +69,14 @@ impl ActiveCrawler {
     }
 
     /// Returns a copy with a different crawl interval.
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_interval(mut self, interval: SimDuration) -> Self {
         self.interval = interval;
         self
     }
 
     /// Returns a copy with a different per-crawl coverage.
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_coverage(mut self, coverage: f64) -> Self {
         self.coverage = coverage.clamp(0.0, 1.0);
         self

@@ -16,8 +16,9 @@
 
 use crate::dataset::MeasurementDataset;
 use crate::record::{ConnectionRecord, MetadataChangeRecord, PeerRecord, SnapshotRecord};
-use netsim::{ObservedEvent, ObserverLog};
-use p2pmodel::{IdentifyInfo, PeerId};
+use netsim::obs::close_reason_from_payload;
+use netsim::{ObservationKind, ObserverLog};
+use p2pmodel::PeerId;
 use simclock::{SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -43,6 +44,7 @@ impl GoIpfsMonitor {
     }
 
     /// Creates a monitor with a custom refresh interval.
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_interval(snapshot_interval: SimDuration) -> Self {
         GoIpfsMonitor { snapshot_interval }
     }
@@ -109,6 +111,12 @@ impl HydraMonitor {
 /// of the given interval (go-ipfs polling); `None` keeps exact close times
 /// (hydra event logging). `snapshot_interval` controls the cadence of
 /// [`SnapshotRecord`]s.
+///
+/// This is the ingest hot path: it reads the log's columnar
+/// [`netsim::ObservationTable`] directly instead of materialising
+/// [`netsim::ObservedEvent`] values. Identify payloads are compared by
+/// registry id, so a million identify events with an unchanged payload cost a
+/// million integer compares — not a million deep `IdentifyInfo` clones.
 fn build_dataset(
     log: &ObserverLog,
     close_quantisation: Option<SimDuration>,
@@ -121,7 +129,12 @@ fn build_dataset(
         log.ended_at,
     );
 
-    let mut last_identify: HashMap<PeerId, IdentifyInfo> = HashMap::new();
+    let table = log.table();
+    let registry = log.registry();
+
+    // Last identify payload per peer, by registry id — an id compare replaces
+    // the payload clone-and-diff of the enum path.
+    let mut last_identify: HashMap<PeerId, u32> = HashMap::new();
     let mut open_conns: HashMap<p2pmodel::ConnectionId, ConnectionRecord> = HashMap::new();
 
     // Snapshot bookkeeping.
@@ -145,16 +158,16 @@ fn build_dataset(
         }
     };
 
-    for event in &log.events {
+    for i in 0..table.len() {
+        let at = table.at(i);
         flush_snapshots(
-            event.at(),
+            at,
             &mut next_snapshot,
             &mut dataset,
             open_count,
             connected_peers.len(),
         );
-        let at = event.at();
-        let peer = event.peer();
+        let peer = registry.peer(table.peer_slot_at(i));
         let record = dataset
             .peers
             .entry(peer)
@@ -163,23 +176,20 @@ fn build_dataset(
             record.last_seen = at;
         }
 
-        match event {
-            ObservedEvent::ConnectionOpened {
-                conn,
-                direction,
-                remote_addr,
-                ..
-            } => {
-                if !record.addrs.contains(remote_addr) {
-                    record.addrs.push(*remote_addr);
+        match table.kind_at(i) {
+            kind @ (ObservationKind::OpenedInbound | ObservationKind::OpenedOutbound) => {
+                let conn = table.conn_at(i).expect("open rows carry a connection id");
+                let remote_addr = registry.addr(table.payload_at(i));
+                if !record.addrs.contains(&remote_addr) {
+                    record.addrs.push(remote_addr);
                 }
                 open_conns.insert(
-                    *conn,
+                    conn,
                     ConnectionRecord {
-                        id: *conn,
+                        id: conn,
                         peer,
-                        direction: *direction,
-                        remote_addr: *remote_addr,
+                        direction: kind.direction().expect("open rows have a direction"),
+                        remote_addr,
                         opened_at: at,
                         closed_at: log.ended_at,
                         open_at_end: true,
@@ -189,8 +199,9 @@ fn build_dataset(
                 open_count += 1;
                 *connected_peers.entry(peer).or_insert(0) += 1;
             }
-            ObservedEvent::ConnectionClosed { conn, reason, .. } => {
-                if let Some(mut rec) = open_conns.remove(conn) {
+            ObservationKind::Closed => {
+                let conn = table.conn_at(i).expect("close rows carry a connection id");
+                if let Some(mut rec) = open_conns.remove(&conn) {
                     let closed_at = match close_quantisation {
                         Some(step) if !step.is_zero() => quantise_up(at, log.started_at, step)
                             .min(log.ended_at),
@@ -198,7 +209,7 @@ fn build_dataset(
                     };
                     rec.closed_at = closed_at.max(rec.opened_at);
                     rec.open_at_end = false;
-                    rec.close_reason = Some(*reason);
+                    rec.close_reason = Some(close_reason_from_payload(table.payload_at(i)));
                     dataset.connections.push(rec);
                     open_count = open_count.saturating_sub(1);
                     if let Some(count) = connected_peers.get_mut(&peer) {
@@ -209,9 +220,18 @@ fn build_dataset(
                     }
                 }
             }
-            ObservedEvent::IdentifyReceived { info, .. } => {
-                let previous = last_identify.get(&peer);
-                if let Some(previous) = previous {
+            ObservationKind::Identify => {
+                let payload_id = table.payload_at(i);
+                let previous_id = last_identify.insert(peer, payload_id);
+                // Same interned id ⇒ byte-identical payload ⇒ the enum path
+                // would have found no changed fields and re-written the same
+                // record values. Skip it entirely.
+                if previous_id == Some(payload_id) {
+                    continue;
+                }
+                let info = registry.identify(payload_id);
+                if let Some(previous_id) = previous_id {
+                    let previous = registry.identify(previous_id);
                     for field in previous.changed_fields(info) {
                         let (old, new) = match field {
                             "agent" => (previous.agent.to_string(), info.agent.to_string()),
@@ -237,11 +257,11 @@ fn build_dataset(
                 record.dht_server = info.is_dht_server();
                 record.ever_dht_server |= info.is_dht_server();
                 record.metadata_known |= info.is_known();
-                last_identify.insert(peer, info.clone());
             }
-            ObservedEvent::PeerDiscovered { addr, .. } => {
-                if !record.addrs.contains(addr) {
-                    record.addrs.push(*addr);
+            ObservationKind::Discovered => {
+                let addr = registry.addr(table.payload_at(i));
+                if !record.addrs.contains(&addr) {
+                    record.addrs.push(addr);
                 }
             }
         }
@@ -281,8 +301,8 @@ mod tests {
     use super::*;
     use netsim::ObservedEvent;
     use p2pmodel::{
-        AgentVersion, CloseReason, ConnectionId, Direction, IpAddress, Multiaddr, ProtocolSet,
-        Transport,
+        AgentVersion, CloseReason, ConnectionId, Direction, IdentifyInfo, IpAddress, Multiaddr,
+        ProtocolSet, Transport,
     };
 
     fn addr(n: u32) -> Multiaddr {
@@ -300,31 +320,31 @@ mod tests {
     fn sample_log() -> ObserverLog {
         let mut log = ObserverLog::new("go-ipfs", PeerId::derived(0), true, SimTime::ZERO);
         let peer = PeerId::derived(1);
-        log.events.push(ObservedEvent::ConnectionOpened {
+        log.push(ObservedEvent::ConnectionOpened {
             at: SimTime::from_secs(10),
             conn: ConnectionId(1),
             peer,
             direction: Direction::Inbound,
             remote_addr: addr(1),
         });
-        log.events.push(ObservedEvent::IdentifyReceived {
+        log.push(ObservedEvent::IdentifyReceived {
             at: SimTime::from_secs(10),
             peer,
             info: server_info("go-ipfs/0.10.0/abc"),
         });
-        log.events.push(ObservedEvent::IdentifyReceived {
+        log.push(ObservedEvent::IdentifyReceived {
             at: SimTime::from_secs(500),
             peer,
             info: server_info("go-ipfs/0.11.0/def"),
         });
-        log.events.push(ObservedEvent::ConnectionClosed {
+        log.push(ObservedEvent::ConnectionClosed {
             at: SimTime::from_secs(995),
             conn: ConnectionId(1),
             peer,
             reason: CloseReason::TrimmedRemote,
         });
         // A second connection that never closes.
-        log.events.push(ObservedEvent::ConnectionOpened {
+        log.push(ObservedEvent::ConnectionOpened {
             at: SimTime::from_secs(2000),
             conn: ConnectionId(2),
             peer: PeerId::derived(2),
@@ -332,7 +352,7 @@ mod tests {
             remote_addr: addr(2),
         });
         // A peer only known through gossip.
-        log.events.push(ObservedEvent::PeerDiscovered {
+        log.push(ObservedEvent::PeerDiscovered {
             at: SimTime::from_secs(2500),
             peer: PeerId::derived(3),
             addr: addr(3),
@@ -419,14 +439,14 @@ mod tests {
     fn hydra_union_merges_heads() {
         let log0 = sample_log();
         let mut log1 = ObserverLog::new("hydra-h1", PeerId::derived(10), true, SimTime::ZERO);
-        log1.events.push(ObservedEvent::ConnectionOpened {
+        log1.push(ObservedEvent::ConnectionOpened {
             at: SimTime::from_secs(50),
             conn: ConnectionId(99),
             peer: PeerId::derived(42),
             direction: Direction::Inbound,
             remote_addr: addr(42),
         });
-        log1.events.push(ObservedEvent::ConnectionClosed {
+        log1.push(ObservedEvent::ConnectionClosed {
             at: SimTime::from_secs(80),
             conn: ConnectionId(99),
             peer: PeerId::derived(42),

@@ -133,36 +133,42 @@ impl SweepGrid {
     }
 
     /// Replaces the population scales.
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_scales(mut self, scales: Vec<f64>) -> Self {
         self.scales = scales;
         self
     }
 
     /// Replaces the seed list.
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
         self.seeds = seeds;
         self
     }
 
     /// Uses seeds `1..=n`.
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_seed_count(self, n: u64) -> Self {
         let seeds = (1..=n).collect();
         self.with_seeds(seeds)
     }
 
     /// Replaces the observer variations.
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_tweaks(mut self, tweaks: Vec<ObserverTweak>) -> Self {
         self.tweaks = tweaks;
         self
     }
 
     /// Replaces the churn regimes (the fifth grid dimension).
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_scenarios(mut self, scenarios: Vec<ChurnScenario>) -> Self {
         self.scenarios = scenarios;
         self
     }
 
     /// Replaces the base seed.
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_base_seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
         self
@@ -670,6 +676,7 @@ impl SweepRunner {
 
     /// Fixes the number of worker threads (1 = serial execution; useful for
     /// verifying that parallelism does not change results).
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self

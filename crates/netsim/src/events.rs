@@ -5,16 +5,25 @@
 //! * An [`ObserverLog`] per measurement node — the chronological sequence of
 //!   everything that node could have recorded: connections opening and
 //!   closing, identify payloads, peers discovered through routing traffic.
-//!   The `measurement` crate turns these logs into the data sets the paper's
-//!   clients export.
+//!   Since the columnar refactor the log is a *view*: the events live in an
+//!   [`ObservationTable`] (struct-of-arrays, 25 bytes per event) plus a
+//!   shared [`IdentifyRegistry`] of interned payloads, and [`ObservedEvent`]
+//!   values are materialised on demand by [`ObserverLog::events`]. Hot
+//!   consumers (the `measurement` monitors, the scale harness) skip the
+//!   materialisation and read the columns directly via [`ObserverLog::table`].
 //! * A [`GroundTruth`] log of what actually happened in the simulated
 //!   network (sessions, role changes), which the active-crawler baseline
 //!   crawls and which validation tests compare the passive view against.
 
+use crate::obs::{
+    close_reason_from_payload, IdentifyRegistry, ObservationKind, ObservationSink,
+    ObservationTable,
+};
 use p2pmodel::{
     CloseReason, ConnectionId, ConnectionInfo, Direction, IdentifyInfo, Multiaddr, PeerId,
 };
 use simclock::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// One event observed by a measurement node.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +98,13 @@ impl ObservedEvent {
 }
 
 /// The complete observation log of one measurement node.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A thin view over the columnar store: metadata fields stay public,
+/// [`Self::events`] materialises the classic [`ObservedEvent`] shape on
+/// demand, and [`Self::table`]/[`Self::registry`] expose the columns to hot
+/// consumers. Manually built logs (tests, fixtures) are assembled with
+/// [`Self::push`].
+#[derive(Debug, Clone)]
 pub struct ObserverLog {
     /// The observer's name (from its [`crate::ObserverSpec`]).
     pub observer: String,
@@ -101,8 +116,23 @@ pub struct ObserverLog {
     pub started_at: SimTime,
     /// When the observation ended.
     pub ended_at: SimTime,
-    /// Chronological observed events.
-    pub events: Vec<ObservedEvent>,
+    table: ObservationTable,
+    registry: Arc<IdentifyRegistry>,
+}
+
+impl PartialEq for ObserverLog {
+    /// Two logs are equal when their metadata and their *materialised*
+    /// event sequences are equal — registry ids are an implementation
+    /// detail and may differ between equal logs.
+    fn eq(&self, other: &Self) -> bool {
+        self.observer == other.observer
+            && self.peer_id == other.peer_id
+            && self.dht_server == other.dht_server
+            && self.started_at == other.started_at
+            && self.ended_at == other.ended_at
+            && self.len() == other.len()
+            && self.events().eq(other.events())
+    }
 }
 
 impl ObserverLog {
@@ -114,8 +144,125 @@ impl ObserverLog {
             dht_server,
             started_at,
             ended_at: started_at,
-            events: Vec::new(),
+            table: ObservationTable::new(),
+            registry: Arc::new(IdentifyRegistry::new()),
         }
+    }
+
+    /// Assembles a log from an engine-produced table and the run's shared
+    /// registry.
+    pub(crate) fn from_parts(
+        observer: String,
+        peer_id: PeerId,
+        dht_server: bool,
+        started_at: SimTime,
+        ended_at: SimTime,
+        table: ObservationTable,
+        registry: Arc<IdentifyRegistry>,
+    ) -> Self {
+        ObserverLog {
+            observer,
+            peer_id,
+            dht_server,
+            started_at,
+            ended_at,
+            table,
+            registry,
+        }
+    }
+
+    /// Appends an event, interning its payload into the log's registry.
+    ///
+    /// This is the compatibility path for manually built logs; the engine
+    /// writes columns directly through [`ObservationSink`].
+    pub fn push(&mut self, event: ObservedEvent) {
+        let registry = Arc::make_mut(&mut self.registry);
+        match event {
+            ObservedEvent::ConnectionOpened {
+                at,
+                conn,
+                peer,
+                direction,
+                remote_addr,
+            } => {
+                let slot = registry.register_peer(peer);
+                let addr_id = registry.intern_addr(remote_addr);
+                self.table.connection_opened(at, conn, slot, direction, addr_id);
+            }
+            ObservedEvent::ConnectionClosed {
+                at,
+                conn,
+                peer,
+                reason,
+            } => {
+                let slot = registry.register_peer(peer);
+                self.table.connection_closed(at, conn, slot, reason);
+            }
+            ObservedEvent::IdentifyReceived { at, peer, info } => {
+                let slot = registry.register_peer(peer);
+                let payload_id = registry.intern_identify(&info);
+                self.table.identify_received(at, slot, payload_id);
+            }
+            ObservedEvent::PeerDiscovered { at, peer, addr } => {
+                let slot = registry.register_peer(peer);
+                let addr_id = registry.intern_addr(addr);
+                self.table.peer_discovered(at, slot, addr_id);
+            }
+        }
+    }
+
+    /// The columnar event store backing this log.
+    pub fn table(&self) -> &ObservationTable {
+        &self.table
+    }
+
+    /// The interning registry resolving the table's peer slots, address ids
+    /// and identify ids.
+    pub fn registry(&self) -> &IdentifyRegistry {
+        &self.registry
+    }
+
+    /// Materialises the event at row `index` in the classic enum shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn event_at(&self, index: usize) -> ObservedEvent {
+        let t = &self.table;
+        let at = t.at(index);
+        let peer = self.registry.peer(t.peer_slot_at(index));
+        match t.kind_at(index) {
+            kind @ (ObservationKind::OpenedInbound | ObservationKind::OpenedOutbound) => {
+                ObservedEvent::ConnectionOpened {
+                    at,
+                    conn: t.conn_at(index).expect("open rows carry a connection id"),
+                    peer,
+                    direction: kind.direction().expect("open rows have a direction"),
+                    remote_addr: self.registry.addr(t.payload_at(index)),
+                }
+            }
+            ObservationKind::Closed => ObservedEvent::ConnectionClosed {
+                at,
+                conn: t.conn_at(index).expect("close rows carry a connection id"),
+                peer,
+                reason: close_reason_from_payload(t.payload_at(index)),
+            },
+            ObservationKind::Identify => ObservedEvent::IdentifyReceived {
+                at,
+                peer,
+                info: self.registry.identify(t.payload_at(index)).clone(),
+            },
+            ObservationKind::Discovered => ObservedEvent::PeerDiscovered {
+                at,
+                peer,
+                addr: self.registry.addr(t.payload_at(index)),
+            },
+        }
+    }
+
+    /// Iterates over the log, materialising each event on demand.
+    pub fn events(&self) -> impl Iterator<Item = ObservedEvent> + '_ {
+        (0..self.len()).map(move |i| self.event_at(i))
     }
 
     /// The duration covered by the log.
@@ -125,39 +272,43 @@ impl ObserverLog {
 
     /// Number of events in the log.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.table.len()
     }
 
     /// Whether the log contains no events.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.table.is_empty()
     }
 
     /// Iterates over connection-opened events as [`ConnectionInfo`] records
     /// paired with their close (if observed). Convenient for analyses that
-    /// want per-connection rows.
+    /// want per-connection rows. Reads the columns directly — no event
+    /// materialisation.
     pub fn connections(&self) -> Vec<ConnectionInfo> {
         let mut open: std::collections::HashMap<ConnectionId, ConnectionInfo> =
             std::collections::HashMap::new();
         let mut all: Vec<ConnectionId> = Vec::new();
-        for event in &self.events {
-            match event {
-                ObservedEvent::ConnectionOpened {
-                    at,
-                    conn,
-                    peer,
-                    direction,
-                    remote_addr,
-                } => {
+        let t = &self.table;
+        for i in 0..t.len() {
+            match t.kind_at(i) {
+                kind @ (ObservationKind::OpenedInbound | ObservationKind::OpenedOutbound) => {
+                    let conn = t.conn_at(i).expect("open rows carry a connection id");
                     open.insert(
-                        *conn,
-                        ConnectionInfo::open(*conn, *peer, *direction, *remote_addr, *at),
+                        conn,
+                        ConnectionInfo::open(
+                            conn,
+                            self.registry.peer(t.peer_slot_at(i)),
+                            kind.direction().expect("open rows have a direction"),
+                            self.registry.addr(t.payload_at(i)),
+                            t.at(i),
+                        ),
                     );
-                    all.push(*conn);
+                    all.push(conn);
                 }
-                ObservedEvent::ConnectionClosed { at, conn, reason, .. } => {
-                    if let Some(info) = open.get_mut(conn) {
-                        info.close(*at, *reason);
+                ObservationKind::Closed => {
+                    let conn = t.conn_at(i).expect("close rows carry a connection id");
+                    if let Some(info) = open.get_mut(&conn) {
+                        info.close(t.at(i), close_reason_from_payload(t.payload_at(i)));
                     }
                 }
                 _ => {}
@@ -168,10 +319,10 @@ impl ObserverLog {
 
     /// Number of distinct peers appearing anywhere in the log.
     pub fn distinct_peers(&self) -> usize {
-        let mut peers: Vec<PeerId> = self.events.iter().map(ObservedEvent::peer).collect();
-        peers.sort();
-        peers.dedup();
-        peers.len()
+        let mut slots: Vec<u32> = self.table.peer_slots().to_vec();
+        slots.sort_unstable();
+        slots.dedup();
+        slots.len()
     }
 }
 
@@ -226,31 +377,50 @@ pub struct GroundTruth {
 
 impl GroundTruth {
     /// The set of peers online at time `at`, together with their DHT-Server
-    /// role at that time. This is what a perfect crawler could enumerate.
+    /// role at that time, in population (slot) order. This is what a perfect
+    /// crawler could enumerate.
+    ///
+    /// Implemented over dense per-slot columns: one `PeerId → slot` index
+    /// build plus flat `Vec<bool>` role/online flags, instead of the hash
+    /// map per event the enum path used — this is the crawler's hot loop at
+    /// million-peer scale.
     pub fn online_at(&self, at: SimTime) -> Vec<(PeerId, bool)> {
         use std::collections::HashMap;
-        let mut role: HashMap<PeerId, bool> = self.peers.iter().copied().collect();
-        let mut online: HashMap<PeerId, bool> = HashMap::new();
+        let slot: HashMap<PeerId, usize> = self
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(idx, (peer, _))| (*peer, idx))
+            .collect();
+        let mut role: Vec<bool> = self.peers.iter().map(|(_, server)| *server).collect();
+        let mut online: Vec<bool> = vec![false; self.peers.len()];
         for event in &self.events {
             if event.at() > at {
                 break;
             }
             match event {
                 GroundTruthEvent::PeerOnline { peer, .. } => {
-                    online.insert(*peer, true);
+                    if let Some(&idx) = slot.get(peer) {
+                        online[idx] = true;
+                    }
                 }
                 GroundTruthEvent::PeerOffline { peer, .. } => {
-                    online.insert(*peer, false);
+                    if let Some(&idx) = slot.get(peer) {
+                        online[idx] = false;
+                    }
                 }
                 GroundTruthEvent::RoleChanged { peer, dht_server, .. } => {
-                    role.insert(*peer, *dht_server);
+                    if let Some(&idx) = slot.get(peer) {
+                        role[idx] = *dht_server;
+                    }
                 }
             }
         }
-        online
-            .into_iter()
-            .filter(|(_, is_online)| *is_online)
-            .map(|(peer, _)| (peer, role.get(&peer).copied().unwrap_or(false)))
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| online[*idx])
+            .map(|(idx, (peer, _))| (*peer, role[idx]))
             .collect()
     }
 
@@ -310,9 +480,9 @@ mod tests {
     #[test]
     fn log_reconstructs_connections() {
         let mut log = ObserverLog::new("go-ipfs", PeerId::derived(0), true, SimTime::ZERO);
-        log.events.push(opened(10, 1, 100));
-        log.events.push(opened(20, 2, 200));
-        log.events.push(closed(70, 1, 100));
+        log.push(opened(10, 1, 100));
+        log.push(opened(20, 2, 200));
+        log.push(closed(70, 1, 100));
         log.ended_at = SimTime::from_secs(100);
 
         let conns = log.connections();
@@ -331,9 +501,51 @@ mod tests {
     }
 
     #[test]
+    fn push_then_events_roundtrips_every_kind() {
+        let mut log = ObserverLog::new("go-ipfs", PeerId::derived(0), true, SimTime::ZERO);
+        let originals = vec![
+            opened(1, 1, 100),
+            ObservedEvent::IdentifyReceived {
+                at: SimTime::from_secs(2),
+                peer: PeerId::derived(100),
+                info: IdentifyInfo::new(
+                    p2pmodel::AgentVersion::parse("go-ipfs/0.11.0/"),
+                    p2pmodel::ProtocolSet::go_ipfs_dht_server(),
+                    vec![addr()],
+                ),
+            },
+            closed(3, 1, 100),
+            ObservedEvent::PeerDiscovered {
+                at: SimTime::from_secs(4),
+                peer: PeerId::derived(7),
+                addr: addr(),
+            },
+        ];
+        for event in &originals {
+            log.push(event.clone());
+        }
+        let materialised: Vec<ObservedEvent> = log.events().collect();
+        assert_eq!(materialised, originals);
+        assert_eq!(log.event_at(2), originals[2]);
+    }
+
+    #[test]
+    fn log_equality_is_event_equality() {
+        let mut a = ObserverLog::new("x", PeerId::derived(0), true, SimTime::ZERO);
+        let mut b = ObserverLog::new("x", PeerId::derived(0), true, SimTime::ZERO);
+        assert_eq!(a, b);
+        a.push(opened(1, 1, 5));
+        assert_ne!(a, b);
+        b.push(opened(1, 1, 5));
+        assert_eq!(a, b);
+        b.push(closed(2, 1, 5));
+        assert_ne!(a, b);
+    }
+
+    #[test]
     fn close_without_open_is_ignored() {
         let mut log = ObserverLog::new("x", PeerId::derived(0), false, SimTime::ZERO);
-        log.events.push(closed(5, 9, 1));
+        log.push(closed(5, 9, 1));
         assert!(log.connections().is_empty());
     }
 

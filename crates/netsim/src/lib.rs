@@ -30,11 +30,15 @@
 pub mod config;
 pub mod engine;
 pub mod events;
+pub mod obs;
 pub mod spec;
 
 pub use config::{DhtRole, NetworkConfig, ObserverSpec};
-pub use engine::{Network, SimulationOutput};
+pub use engine::{Network, SimulationOutput, SinkRun};
 pub use events::{GroundTruth, GroundTruthEvent, ObservedEvent, ObserverLog};
+pub use obs::{
+    CountingSink, IdentifyRegistry, ObservationKind, ObservationSink, ObservationTable,
+};
 pub use spec::{
     DialBehavior, MetadataChange, PopulationAction, PopulationEvent, RemotePeerSpec,
     ScheduledChange, SessionPattern,

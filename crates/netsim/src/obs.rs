@@ -1,0 +1,639 @@
+//! The columnar observation pipeline.
+//!
+//! The paper's central observation is that *connection churn dwarfs node
+//! churn*: a measurement log holds orders of magnitude more events than the
+//! network holds peers. Materialising every event as a tagged
+//! [`ObservedEvent`](crate::ObservedEvent) enum — with a full
+//! [`IdentifyInfo`] clone per identify push — made per-event heap traffic the
+//! scaling bottleneck. This module replaces that representation with three
+//! pieces:
+//!
+//! * [`ObservationSink`] — the trait the engine emits observations into.
+//!   The engine never builds `ObservedEvent` values; it calls one sink
+//!   method per observation with plain ids.
+//! * [`IdentifyRegistry`] — interns every distinct [`IdentifyInfo`],
+//!   [`Multiaddr`] and [`PeerId`] once and hands out dense `u32` ids. An
+//!   identify push records a 4-byte payload id instead of cloning the
+//!   payload (agent string, protocol set, address list).
+//! * [`ObservationTable`] — the struct-of-arrays backing store: parallel
+//!   `at` / `kind` / `peer_slot` / `conn` / `payload` columns, 25 bytes per
+//!   event, no per-event heap allocation.
+//!
+//! [`ObserverLog`](crate::ObserverLog) wraps a table plus a shared registry
+//! and keeps yielding the classic `ObservedEvent` shape for analyses that do
+//! not need hardware-speed access; hot consumers (the measurement monitors,
+//! the scale harness) read the columns directly.
+
+use p2pmodel::{CloseReason, ConnectionId, Direction, IdentifyInfo, Multiaddr, PeerId};
+use simclock::SimTime;
+use std::collections::HashMap;
+
+/// The kind discriminant of one observation row (one byte per event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ObservationKind {
+    /// An inbound connection was opened; `payload` is the remote address id.
+    OpenedInbound = 0,
+    /// An outbound connection was opened; `payload` is the remote address id.
+    OpenedOutbound = 1,
+    /// A connection was closed; `payload` encodes the [`CloseReason`].
+    Closed = 2,
+    /// An identify payload was received; `payload` is the identify id.
+    Identify = 3,
+    /// The peer was discovered without a connection; `payload` is the
+    /// address id.
+    Discovered = 4,
+}
+
+impl ObservationKind {
+    /// The direction of an open event, if this is one.
+    pub fn direction(self) -> Option<Direction> {
+        match self {
+            ObservationKind::OpenedInbound => Some(Direction::Inbound),
+            ObservationKind::OpenedOutbound => Some(Direction::Outbound),
+            _ => None,
+        }
+    }
+}
+
+/// Packs a [`CloseReason`] into the 4-byte payload column.
+pub fn close_reason_to_payload(reason: CloseReason) -> u32 {
+    match reason {
+        CloseReason::TrimmedLocal => 0,
+        CloseReason::TrimmedRemote => 1,
+        CloseReason::PeerLeft => 2,
+        CloseReason::MeasurementEnd => 3,
+    }
+}
+
+/// Unpacks a payload written by [`close_reason_to_payload`].
+///
+/// # Panics
+///
+/// Panics on a payload value no close reason maps to; the table only ever
+/// stores values produced by the packing function.
+pub fn close_reason_from_payload(payload: u32) -> CloseReason {
+    match payload {
+        0 => CloseReason::TrimmedLocal,
+        1 => CloseReason::TrimmedRemote,
+        2 => CloseReason::PeerLeft,
+        3 => CloseReason::MeasurementEnd,
+        other => panic!("invalid close-reason payload {other}"),
+    }
+}
+
+/// The sink the simulation engine emits observations into.
+///
+/// One implementation is [`ObservationTable`] (the columnar store every
+/// [`crate::Network::run`] uses); custom sinks — counters, stream writers —
+/// can be plugged in through [`crate::Network::run_with_sinks`] to measure
+/// pure engine throughput or to stream events out without buffering them.
+///
+/// All ids refer to the run's [`IdentifyRegistry`]: `peer_slot` is the
+/// registry slot of the remote peer, `addr_id` an interned multiaddress and
+/// `payload_id` an interned identify payload.
+pub trait ObservationSink {
+    /// A connection to the peer in `peer_slot` was opened.
+    fn connection_opened(
+        &mut self,
+        at: SimTime,
+        conn: ConnectionId,
+        peer_slot: u32,
+        direction: Direction,
+        addr_id: u32,
+    );
+
+    /// A connection was closed.
+    fn connection_closed(&mut self, at: SimTime, conn: ConnectionId, peer_slot: u32, reason: CloseReason);
+
+    /// An identify payload (registry id `payload_id`) was received.
+    fn identify_received(&mut self, at: SimTime, peer_slot: u32, payload_id: u32);
+
+    /// The peer was discovered through routing gossip without a connection.
+    fn peer_discovered(&mut self, at: SimTime, peer_slot: u32, addr_id: u32);
+}
+
+/// Interning store shared by every observer of one simulation run.
+///
+/// Each distinct [`PeerId`], [`Multiaddr`] and [`IdentifyInfo`] is stored
+/// once; observations refer to it by a dense `u32` id. Interning the same
+/// value twice returns the same id, and ids resolve back to the exact value
+/// they were created from — see the round-trip property test in
+/// `tests/columnar.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct IdentifyRegistry {
+    peers: Vec<PeerId>,
+    peer_slots: HashMap<PeerId, u32>,
+    addrs: Vec<Multiaddr>,
+    addr_ids: HashMap<Multiaddr, u32>,
+    infos: Vec<IdentifyInfo>,
+    info_ids: HashMap<IdentifyInfo, u32>,
+}
+
+impl IdentifyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry pre-sized for a population of `peers` peers.
+    pub fn with_capacity(peers: usize) -> Self {
+        IdentifyRegistry {
+            peers: Vec::with_capacity(peers),
+            peer_slots: HashMap::with_capacity(peers),
+            ..Self::default()
+        }
+    }
+
+    /// Registers a peer and returns its slot; registering the same peer
+    /// again returns the existing slot.
+    pub fn register_peer(&mut self, peer: PeerId) -> u32 {
+        if let Some(&slot) = self.peer_slots.get(&peer) {
+            return slot;
+        }
+        let slot = self.peers.len() as u32;
+        self.peers.push(peer);
+        self.peer_slots.insert(peer, slot);
+        slot
+    }
+
+    /// Resolves a peer slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never handed out by this registry.
+    pub fn peer(&self, slot: u32) -> PeerId {
+        self.peers[slot as usize]
+    }
+
+    /// The slot of a registered peer, if any.
+    pub fn slot_of(&self, peer: &PeerId) -> Option<u32> {
+        self.peer_slots.get(peer).copied()
+    }
+
+    /// Number of registered peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Interns a multiaddress and returns its id.
+    pub fn intern_addr(&mut self, addr: Multiaddr) -> u32 {
+        if let Some(&id) = self.addr_ids.get(&addr) {
+            return id;
+        }
+        let id = self.addrs.len() as u32;
+        self.addrs.push(addr);
+        self.addr_ids.insert(addr, id);
+        id
+    }
+
+    /// Resolves an address id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never handed out by this registry.
+    pub fn addr(&self, id: u32) -> Multiaddr {
+        self.addrs[id as usize]
+    }
+
+    /// Number of distinct interned addresses.
+    pub fn addr_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Interns an identify payload and returns its id. The payload is cloned
+    /// only on first insertion; every later intern of an equal payload is a
+    /// hash lookup.
+    pub fn intern_identify(&mut self, info: &IdentifyInfo) -> u32 {
+        if let Some(&id) = self.info_ids.get(info) {
+            return id;
+        }
+        let id = self.infos.len() as u32;
+        self.infos.push(info.clone());
+        self.info_ids.insert(info.clone(), id);
+        id
+    }
+
+    /// Resolves an identify id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never handed out by this registry.
+    pub fn identify(&self, id: u32) -> &IdentifyInfo {
+        &self.infos[id as usize]
+    }
+
+    /// Number of distinct interned identify payloads.
+    pub fn identify_count(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Approximate resident bytes of the registry (interned values plus the
+    /// lookup indices). Part of the bytes-per-event accounting in the scale
+    /// harness; see `docs/ARCHITECTURE.md`.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let peer_bytes = self.peers.len() * (size_of::<PeerId>() * 2 + size_of::<u32>());
+        let addr_bytes = self.addrs.len() * (size_of::<Multiaddr>() * 2 + size_of::<u32>());
+        let info_bytes: usize = self
+            .infos
+            .iter()
+            .map(|info| 2 * (size_of::<IdentifyInfo>() + identify_heap_bytes(info)) + size_of::<u32>())
+            .sum();
+        peer_bytes + addr_bytes + info_bytes
+    }
+}
+
+/// Approximate heap bytes owned by one [`IdentifyInfo`] (agent strings,
+/// protocol-set nodes, address list). Used for the bytes-per-event accounting
+/// of the enum representation, where every identify event carried a deep
+/// clone of this payload.
+pub fn identify_heap_bytes(info: &IdentifyInfo) -> usize {
+    use std::mem::size_of;
+    let agent_bytes = match &info.agent {
+        p2pmodel::AgentVersion::GoIpfs { commit, version, .. } => {
+            commit.as_deref().map_or(0, str::len)
+                + version.pre.as_deref().map_or(0, str::len)
+        }
+        p2pmodel::AgentVersion::Other(s) => s.len(),
+        p2pmodel::AgentVersion::Missing => 0,
+    };
+    // One string allocation plus ~3 words of BTreeSet node overhead per
+    // protocol id — an estimate, but the same estimate for both sides of the
+    // comparison.
+    let protocol_bytes: usize = info
+        .protocols
+        .iter()
+        .map(|p| p.as_str().len() + size_of::<String>() + 3 * size_of::<usize>())
+        .sum();
+    let addr_bytes = info.listen_addrs.capacity() * size_of::<Multiaddr>();
+    agent_bytes + protocol_bytes + addr_bytes
+}
+
+/// The struct-of-arrays observation store: one row per observed event, split
+/// into five parallel columns.
+///
+/// | column      | type           | meaning                                          |
+/// |-------------|----------------|--------------------------------------------------|
+/// | `at`        | `SimTime` (8B) | event timestamp                                  |
+/// | `kind`      | `u8`           | [`ObservationKind`] discriminant                 |
+/// | `peer_slot` | `u32`          | registry slot of the remote peer                 |
+/// | `conn`      | `u64`          | connection id, or `NO_CONN` for non-conn events  |
+/// | `payload`   | `u32`          | addr id / identify id / packed close reason      |
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObservationTable {
+    at: Vec<SimTime>,
+    kind: Vec<ObservationKind>,
+    peer_slot: Vec<u32>,
+    conn: Vec<u64>,
+    payload: Vec<u32>,
+}
+
+/// The `conn` column value of rows that do not concern a connection.
+pub const NO_CONN: u64 = u64::MAX;
+
+impl ObservationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves room for `additional` more events in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        self.at.reserve(additional);
+        self.kind.reserve(additional);
+        self.peer_slot.reserve(additional);
+        self.conn.reserve(additional);
+        self.payload.reserve(additional);
+    }
+
+    fn push_row(&mut self, at: SimTime, kind: ObservationKind, peer_slot: u32, conn: u64, payload: u32) {
+        self.at.push(at);
+        self.kind.push(kind);
+        self.peer_slot.push(peer_slot);
+        self.conn.push(conn);
+        self.payload.push(payload);
+    }
+
+    /// Number of events in the table.
+    pub fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    /// Whether the table holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.at.is_empty()
+    }
+
+    /// The timestamp column.
+    pub fn ats(&self) -> &[SimTime] {
+        &self.at
+    }
+
+    /// The kind column.
+    pub fn kinds(&self) -> &[ObservationKind] {
+        &self.kind
+    }
+
+    /// The peer-slot column.
+    pub fn peer_slots(&self) -> &[u32] {
+        &self.peer_slot
+    }
+
+    /// The connection-id column ([`NO_CONN`] for non-connection rows).
+    pub fn conns(&self) -> &[u64] {
+        &self.conn
+    }
+
+    /// The payload column.
+    pub fn payloads(&self) -> &[u32] {
+        &self.payload
+    }
+
+    /// Timestamp of row `i`.
+    pub fn at(&self, i: usize) -> SimTime {
+        self.at[i]
+    }
+
+    /// Kind of row `i`.
+    pub fn kind_at(&self, i: usize) -> ObservationKind {
+        self.kind[i]
+    }
+
+    /// Peer slot of row `i`.
+    pub fn peer_slot_at(&self, i: usize) -> u32 {
+        self.peer_slot[i]
+    }
+
+    /// Connection id of row `i` (`None` for non-connection rows).
+    pub fn conn_at(&self, i: usize) -> Option<ConnectionId> {
+        match self.conn[i] {
+            NO_CONN => None,
+            id => Some(ConnectionId(id)),
+        }
+    }
+
+    /// Payload of row `i`.
+    pub fn payload_at(&self, i: usize) -> u32 {
+        self.payload[i]
+    }
+
+    /// Resident bytes of the column storage (capacity-based, the peak-RSS
+    /// proxy the scale harness reports).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.at.capacity() * size_of::<SimTime>()
+            + self.kind.capacity() * size_of::<ObservationKind>()
+            + self.peer_slot.capacity() * size_of::<u32>()
+            + self.conn.capacity() * size_of::<u64>()
+            + self.payload.capacity() * size_of::<u32>()
+    }
+
+    /// Bytes of one row across all columns (the marginal cost of an event).
+    pub const fn bytes_per_event() -> usize {
+        use std::mem::size_of;
+        size_of::<SimTime>()
+            + size_of::<ObservationKind>()
+            + size_of::<u32>()
+            + size_of::<u64>()
+            + size_of::<u32>()
+    }
+
+    /// Whether the `at` column is already non-decreasing.
+    pub fn is_sorted_by_time(&self) -> bool {
+        self.at.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Stable-sorts all columns by timestamp. The engine emits events in
+    /// simulation order, which is already chronological, so the common case
+    /// is a single O(n) sortedness check; manually built tables pay one
+    /// index permutation.
+    pub fn stable_sort_by_time(&mut self) {
+        if self.is_sorted_by_time() {
+            return;
+        }
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_by_key(|&i| self.at[i as usize]);
+        self.at = order.iter().map(|&i| self.at[i as usize]).collect();
+        self.kind = order.iter().map(|&i| self.kind[i as usize]).collect();
+        self.peer_slot = order.iter().map(|&i| self.peer_slot[i as usize]).collect();
+        self.conn = order.iter().map(|&i| self.conn[i as usize]).collect();
+        self.payload = order.iter().map(|&i| self.payload[i as usize]).collect();
+    }
+
+    /// FNV-1a checksum over all columns — a cheap, order-sensitive
+    /// fingerprint the scale harness uses to assert determinism across
+    /// thread counts without materialising events.
+    pub fn checksum(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for i in 0..self.len() {
+            for b in self.at[i].as_millis().to_le_bytes() {
+                mix(b);
+            }
+            mix(self.kind[i] as u8);
+            for b in self.peer_slot[i].to_le_bytes() {
+                mix(b);
+            }
+            for b in self.conn[i].to_le_bytes() {
+                mix(b);
+            }
+            for b in self.payload[i].to_le_bytes() {
+                mix(b);
+            }
+        }
+        hash
+    }
+}
+
+impl ObservationSink for ObservationTable {
+    fn connection_opened(
+        &mut self,
+        at: SimTime,
+        conn: ConnectionId,
+        peer_slot: u32,
+        direction: Direction,
+        addr_id: u32,
+    ) {
+        let kind = match direction {
+            Direction::Inbound => ObservationKind::OpenedInbound,
+            Direction::Outbound => ObservationKind::OpenedOutbound,
+        };
+        self.push_row(at, kind, peer_slot, conn.0, addr_id);
+    }
+
+    fn connection_closed(&mut self, at: SimTime, conn: ConnectionId, peer_slot: u32, reason: CloseReason) {
+        self.push_row(
+            at,
+            ObservationKind::Closed,
+            peer_slot,
+            conn.0,
+            close_reason_to_payload(reason),
+        );
+    }
+
+    fn identify_received(&mut self, at: SimTime, peer_slot: u32, payload_id: u32) {
+        self.push_row(at, ObservationKind::Identify, peer_slot, NO_CONN, payload_id);
+    }
+
+    fn peer_discovered(&mut self, at: SimTime, peer_slot: u32, addr_id: u32) {
+        self.push_row(at, ObservationKind::Discovered, peer_slot, NO_CONN, addr_id);
+    }
+}
+
+/// A sink that only counts events — used by the scale harness to measure
+/// pure engine throughput with zero observation-storage cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Connection-open events seen.
+    pub opened: u64,
+    /// Connection-close events seen.
+    pub closed: u64,
+    /// Identify events seen.
+    pub identifies: u64,
+    /// Gossip-discovery events seen.
+    pub discovered: u64,
+}
+
+impl CountingSink {
+    /// Total events seen.
+    pub fn total(&self) -> u64 {
+        self.opened + self.closed + self.identifies + self.discovered
+    }
+}
+
+impl ObservationSink for CountingSink {
+    fn connection_opened(&mut self, _: SimTime, _: ConnectionId, _: u32, _: Direction, _: u32) {
+        self.opened += 1;
+    }
+
+    fn connection_closed(&mut self, _: SimTime, _: ConnectionId, _: u32, _: CloseReason) {
+        self.closed += 1;
+    }
+
+    fn identify_received(&mut self, _: SimTime, _: u32, _: u32) {
+        self.identifies += 1;
+    }
+
+    fn peer_discovered(&mut self, _: SimTime, _: u32, _: u32) {
+        self.discovered += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmodel::{AgentVersion, IpAddress, ProtocolSet, Transport};
+
+    fn addr(n: u32) -> Multiaddr {
+        Multiaddr::new(IpAddress::V4(n), Transport::Tcp, 4001)
+    }
+
+    fn info(version: &str) -> IdentifyInfo {
+        IdentifyInfo::new(
+            AgentVersion::parse(version),
+            ProtocolSet::go_ipfs_dht_server(),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn registry_interning_is_idempotent() {
+        let mut reg = IdentifyRegistry::with_capacity(4);
+        let p = PeerId::derived(7);
+        let slot = reg.register_peer(p);
+        assert_eq!(reg.register_peer(p), slot);
+        assert_eq!(reg.peer(slot), p);
+        assert_eq!(reg.slot_of(&p), Some(slot));
+        assert_eq!(reg.peer_count(), 1);
+
+        let a = reg.intern_addr(addr(1));
+        assert_eq!(reg.intern_addr(addr(1)), a);
+        assert_ne!(reg.intern_addr(addr(2)), a);
+        assert_eq!(reg.addr(a), addr(1));
+        assert_eq!(reg.addr_count(), 2);
+
+        let i0 = reg.intern_identify(&info("go-ipfs/0.11.0/"));
+        let i1 = reg.intern_identify(&info("go-ipfs/0.12.0/"));
+        assert_eq!(reg.intern_identify(&info("go-ipfs/0.11.0/")), i0);
+        assert_ne!(i0, i1);
+        assert_eq!(reg.identify(i1), &info("go-ipfs/0.12.0/"));
+        assert_eq!(reg.identify_count(), 2);
+        assert!(reg.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn close_reason_payload_roundtrip() {
+        for reason in [
+            CloseReason::TrimmedLocal,
+            CloseReason::TrimmedRemote,
+            CloseReason::PeerLeft,
+            CloseReason::MeasurementEnd,
+        ] {
+            assert_eq!(close_reason_from_payload(close_reason_to_payload(reason)), reason);
+        }
+    }
+
+    #[test]
+    fn table_records_rows_in_order() {
+        let mut table = ObservationTable::new();
+        table.connection_opened(SimTime::from_secs(1), ConnectionId(9), 3, Direction::Inbound, 11);
+        table.identify_received(SimTime::from_secs(2), 3, 5);
+        table.connection_closed(SimTime::from_secs(4), ConnectionId(9), 3, CloseReason::PeerLeft);
+        table.peer_discovered(SimTime::from_secs(4), 8, 12);
+
+        assert_eq!(table.len(), 4);
+        assert!(!table.is_empty());
+        assert_eq!(table.kind_at(0), ObservationKind::OpenedInbound);
+        assert_eq!(table.kind_at(0).direction(), Some(Direction::Inbound));
+        assert_eq!(table.conn_at(0), Some(ConnectionId(9)));
+        assert_eq!(table.conn_at(1), None);
+        assert_eq!(table.payload_at(1), 5);
+        assert_eq!(
+            close_reason_from_payload(table.payload_at(2)),
+            CloseReason::PeerLeft
+        );
+        assert_eq!(table.peer_slot_at(3), 8);
+        assert!(table.is_sorted_by_time());
+        assert!(table.approx_bytes() >= table.len() * ObservationTable::bytes_per_event());
+    }
+
+    #[test]
+    fn stable_sort_orders_rows_and_preserves_ties() {
+        let mut table = ObservationTable::new();
+        table.identify_received(SimTime::from_secs(5), 1, 0);
+        table.identify_received(SimTime::from_secs(1), 2, 1);
+        table.identify_received(SimTime::from_secs(5), 3, 2);
+        assert!(!table.is_sorted_by_time());
+        table.stable_sort_by_time();
+        assert!(table.is_sorted_by_time());
+        // FIFO tie-break: slot 1 (payload 0) stays before slot 3 (payload 2).
+        assert_eq!(table.peer_slots(), &[2, 1, 3]);
+        assert_eq!(table.payloads(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let mut a = ObservationTable::new();
+        a.identify_received(SimTime::from_secs(1), 1, 0);
+        a.identify_received(SimTime::from_secs(1), 2, 0);
+        let mut b = ObservationTable::new();
+        b.identify_received(SimTime::from_secs(1), 2, 0);
+        b.identify_received(SimTime::from_secs(1), 1, 0);
+        assert_ne!(a.checksum(), b.checksum());
+        assert_eq!(a.checksum(), a.clone().checksum());
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::default();
+        sink.connection_opened(SimTime::ZERO, ConnectionId(0), 0, Direction::Outbound, 0);
+        sink.connection_closed(SimTime::ZERO, ConnectionId(0), 0, CloseReason::TrimmedLocal);
+        sink.identify_received(SimTime::ZERO, 0, 0);
+        sink.peer_discovered(SimTime::ZERO, 0, 0);
+        assert_eq!(sink.total(), 4);
+    }
+}

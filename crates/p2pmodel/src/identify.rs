@@ -25,7 +25,7 @@ use crate::protocol::ProtocolSet;
 /// assert!(info.is_dht_server());
 /// assert!(info.agent.is_go_ipfs());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct IdentifyInfo {
     /// The agent version string (Fig. 3 groups peers by this).
     pub agent: AgentVersion,

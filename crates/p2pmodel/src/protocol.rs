@@ -115,7 +115,7 @@ pub mod well_known {
 /// let client = ProtocolSet::go_ipfs_dht_client();
 /// assert!(!client.is_dht_server());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct ProtocolSet {
     protocols: BTreeSet<ProtocolId>,
 }

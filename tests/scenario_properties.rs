@@ -59,7 +59,7 @@ fn joins_never_exceed_population_bounds() {
                 .map(|(peer, _)| *peer)
                 .collect();
             for log in &output.logs {
-                for event in &log.events {
+                for event in log.events() {
                     assert!(known.contains(&event.peer()), "{churn}: unknown peer observed");
                 }
             }
@@ -91,7 +91,7 @@ fn rotated_pids_never_resurrect_closed_connections() {
             assert!(!retired_at.is_empty(), "{churn} must retire PIDs");
             let output = run.simulate();
             for log in &output.logs {
-                for event in &log.events {
+                for event in log.events() {
                     if let Some(at) = retired_at.get(&event.peer()) {
                         assert!(
                             event.at() <= *at,
@@ -155,7 +155,7 @@ fn scenario_runs_are_reproducible() {
         let out_a = a.simulate();
         let out_b = b.simulate();
         assert_eq!(out_a.ground_truth, out_b.ground_truth, "{churn}");
-        assert_eq!(out_a.logs[0].events, out_b.logs[0].events, "{churn}");
+        assert_eq!(out_a.logs[0], out_b.logs[0], "{churn}");
     }
 }
 
