@@ -11,6 +11,7 @@
 //! | [`cdf`] | Fig. 7 — CDFs of max connection duration and of connections per PID |
 //! | [`netsize`] | Section V — IP-address grouping, Table IV peer classification, network-size estimates |
 //! | [`robustness`] | Estimator error under adversarial churn scenarios (diurnal waves, flash crowds, PID floods, NAT churn) |
+//! | [`vantage`] | Multi-vantage horizons, pairwise overlap matrices and Lincoln–Petersen / Chao1 capture–recapture network-size estimates |
 //! | [`fingerprint`] | The paper's future-work idea: re-identifying peers by metadata fingerprints |
 //! | [`report`] | Text tables / CSV rendering shared by the reproduction harness |
 //!
@@ -31,6 +32,7 @@ pub mod report;
 pub mod robustness;
 pub mod timeline;
 pub mod validation;
+pub mod vantage;
 
 pub use cdf::{connection_count_cdf, max_duration_cdf, DurationCdfs};
 pub use churn::{connection_stats, direction_stats, ConnectionStats, DirectionStats};
@@ -46,3 +48,7 @@ pub use robustness::{
 };
 pub use timeline::{connection_timeline, pid_growth, PidGrowth};
 pub use validation::{churn_decomposition, ChurnDecomposition};
+pub use vantage::{
+    analyze_vantages, chao1, lincoln_petersen, vantage_report, CaptureRecapture, VantageAnalysis,
+    VantageCountRow, VantageReport,
+};

@@ -28,6 +28,17 @@
 //! cargo run --release -p bench --bin repro -- scenarios --period P4 --scale 0.005
 //! ```
 //!
+//! The `vantage` subcommand deploys several primary-client vantage points
+//! in one campaign and reports per-vantage horizons, pairwise overlap and
+//! the Lincoln–Petersen / Chao1 capture–recapture network-size estimates of
+//! `analysis::vantage` as JSON on stdout:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro -- vantage --vantages 3
+//! cargo run --release -p bench --bin repro -- vantage --period P4 --scale 0.005 \
+//!     --scenarios baseline,flashcrowd,pidflood --threads 8
+//! ```
+//!
 //! The `scale` subcommand runs the million-peer scale harness over the
 //! columnar observation pipeline: a sharded synthetic campaign reporting
 //! events/sec and bytes-per-event, compared against the pre-refactor enum
@@ -39,7 +50,7 @@
 //! cargo run --release -p bench --bin repro -- scale --peers 20000 --shards 8
 //! ```
 //!
-//! Sweep, scenario and scale stdout is deterministic: the same configuration
+//! Sweep, scenario, vantage and scale stdout is deterministic: the same configuration
 //! produces byte-identical JSON regardless of `--threads` (timing numbers go
 //! to the `BENCH_scale.json` file and stderr only).
 //!
@@ -54,7 +65,7 @@ use analysis::{
     pid_growth, role_switches, version_changes,
 };
 use measurement::sweep::{ObserverTweak, SweepGrid, SweepRunner};
-use measurement::{run_period, run_scenario_suite, MeasurementCampaign};
+use measurement::{run_period, run_scenario_suite, run_vantage_suite, MeasurementCampaign};
 use population::{ChurnScenario, MeasurementPeriod, Scenario};
 use simclock::{Cdf, SimDuration};
 use std::collections::HashMap;
@@ -114,6 +125,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("scenarios") {
         run_scenarios_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("vantage") {
+        run_vantage_command(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("scale") {
@@ -438,7 +453,7 @@ fn sweep_usage() -> ! {
     eprintln!(
         "usage: repro sweep [--periods P1,P2,...] [--scales 0.01,...] \
          [--seeds N | --seed-list 3,17,...] [--tweaks label=factor,...] \
-         [--scenarios baseline,flashcrowd,...] \
+         [--scenarios baseline,flashcrowd,...] [--vantages 1,3,...] \
          [--base-seed N] [--threads N] [--pretty] [--no-table]"
     );
     std::process::exit(2);
@@ -464,6 +479,7 @@ fn run_sweep_command(args: &[String]) {
     let mut seeds: Vec<u64> = (1..=8).collect();
     let mut tweaks = vec![ObserverTweak::default()];
     let mut scenarios = vec![ChurnScenario::Baseline];
+    let mut vantages = vec![1usize];
     let mut base_seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut pretty = false;
@@ -527,6 +543,13 @@ fn run_sweep_command(args: &[String]) {
                 scenarios = parse_scenarios(take(i));
                 i += 2;
             }
+            "--vantages" => {
+                vantages = take(i)
+                    .split(',')
+                    .map(|v| v.trim().parse().unwrap_or_else(|_| sweep_usage()))
+                    .collect();
+                i += 2;
+            }
             "--base-seed" => {
                 base_seed = Some(take(i).parse().unwrap_or_else(|_| sweep_usage()));
                 i += 2;
@@ -547,7 +570,9 @@ fn run_sweep_command(args: &[String]) {
         }
     }
 
-    if periods.is_empty() || scales.is_empty() || seeds.is_empty() || tweaks.is_empty() || scenarios.is_empty() {
+    if periods.is_empty() || scales.is_empty() || seeds.is_empty() || tweaks.is_empty()
+        || scenarios.is_empty() || vantages.is_empty()
+    {
         sweep_usage();
     }
 
@@ -555,7 +580,8 @@ fn run_sweep_command(args: &[String]) {
         .with_scales(scales)
         .with_seeds(seeds)
         .with_tweaks(tweaks)
-        .with_scenarios(scenarios);
+        .with_scenarios(scenarios)
+        .with_vantages(vantages);
     if let Some(base) = base_seed {
         grid = grid.with_base_seed(base);
     }
@@ -683,6 +709,101 @@ fn run_scale_command(args: &[String]) {
     // stdout carries only the deterministic fields, so two runs with
     // different --threads can be compared byte-for-byte.
     println!("{}", report.deterministic_json().to_string_pretty());
+}
+
+// ---- the `vantage` subcommand ----------------------------------------------
+
+fn vantage_usage() -> ! {
+    eprintln!(
+        "usage: repro vantage [--period P4] [--scale 0.005] [--seed N] \
+         [--vantages 3] \
+         [--scenarios baseline,diurnal,flashcrowd,massexit,pidflood,natchurn] \
+         [--threads N] [--pretty] [--no-table]"
+    );
+    std::process::exit(2);
+}
+
+fn run_vantage_command(args: &[String]) {
+    let mut period = MeasurementPeriod::P4;
+    let mut scale: f64 = 0.005;
+    let mut seed = 1975u64;
+    let mut vantages = 3usize;
+    let mut scenarios = vec![ChurnScenario::Baseline];
+    let mut threads: Option<usize> = None;
+    let mut pretty = false;
+    let mut table = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| vantage_usage())
+        };
+        match args[i].as_str() {
+            "--period" => {
+                period = MeasurementPeriod::from_label(take(i)).unwrap_or_else(|| {
+                    eprintln!("unknown period {:?} (expected P0..P4 or P14d)", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--scale" => {
+                scale = take(i).parse().unwrap_or_else(|_| vantage_usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = take(i).parse().unwrap_or_else(|_| vantage_usage());
+                i += 2;
+            }
+            "--vantages" => {
+                vantages = take(i).parse().unwrap_or_else(|_| vantage_usage());
+                i += 2;
+            }
+            "--scenarios" => {
+                scenarios = parse_scenarios(take(i));
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(take(i).parse().unwrap_or_else(|_| vantage_usage()));
+                i += 2;
+            }
+            "--pretty" => {
+                pretty = true;
+                i += 1;
+            }
+            "--no-table" => {
+                table = false;
+                i += 1;
+            }
+            _ => vantage_usage(),
+        }
+    }
+    if scenarios.is_empty() || vantages == 0 || !scale.is_finite() || scale <= 0.0 {
+        vantage_usage();
+    }
+
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    eprintln!(
+        "# vantage: {vantages} vantage points on {period} at scale {scale}, seed {seed}, scenarios {}",
+        scenarios
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let started = std::time::Instant::now();
+    let campaigns = run_vantage_suite(period, scale, seed, vantages, &scenarios, threads);
+    let report = analysis::vantage_report(&campaigns);
+    eprintln!("# vantage finished in {:.1?}", started.elapsed());
+    if table {
+        eprintln!("\n{}", report.summary_table());
+    }
+    if pretty {
+        println!("{}", report.to_json_string_pretty());
+    } else {
+        println!("{}", report.to_json_string());
+    }
 }
 
 // ---- the `scenarios` subcommand --------------------------------------------

@@ -5,9 +5,9 @@
 //! single input type of every analysis. Hydra heads can be merged into a
 //! union data set exactly like the paper unions the PID sets of all heads.
 
-use crate::record::{self, ConnectionRecord, PeerRecord, SnapshotRecord};
+use crate::record::{self, ConnectionRecord, MetadataChangeRecord, PeerRecord, SnapshotRecord};
 use jsonio::{Json, JsonError};
-use p2pmodel::PeerId;
+use p2pmodel::{CloseReason, Direction, PeerId};
 use simclock::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -80,42 +80,106 @@ impl MeasurementDataset {
         self.connections.iter().filter(|c| c.peer == *peer).collect()
     }
 
-    /// Merges another data set into this one (hydra heads → union view).
+    /// Merges another data set into this one as a **deduplicating union**
+    /// (hydra heads / vantage points → union view).
     ///
-    /// Peer records are merged by keeping the earliest first-seen, the latest
-    /// last-seen and the metadata of the record seen more recently; change
-    /// histories and connections are concatenated. Snapshots are kept from
-    /// `self` only (they describe a single vantage point).
+    /// The union is the input of every multi-vantage analysis, so it must
+    /// behave like a set union, not a concatenation:
+    ///
+    /// * Peer records are merged by keeping the earliest first-seen, the
+    ///   latest last-seen and the metadata of the record seen more recently
+    ///   (ties broken by a fixed total order on the metadata itself, so the
+    ///   merge direction never matters). Address lists and change histories
+    ///   are unioned and canonically sorted.
+    /// * Connection records are deduplicated **by `(connection id, peer)`**:
+    ///   a connection observed by two monitors (shared record stores, or
+    ///   re-exported data with skewed refresh windows) collapses into one
+    ///   record spanning the earliest observed open and the latest observed
+    ///   close, instead of double-counting in [`Self::connection_count`] and
+    ///   every classification built on it.
+    ///
+    /// **Precondition:** the inputs must share one connection-id space —
+    /// i.e. come from the *same* campaign (the simulator numbers
+    /// connections from a single per-run counter, so hydra heads and
+    /// vantage points always satisfy this). Merging exports of *independent*
+    /// runs is outside the contract: their id spaces both start at 0, and
+    /// unrelated records that collide on `(id, peer)` would be collapsed.
+    /// Re-key the connections first if you need such a merge.
+    /// * Snapshots are unioned and sorted by timestamp: the union view keeps
+    ///   every vantage point's load samples (analyses take maxima over them,
+    ///   which for a union means "max at any single vantage").
+    ///
+    /// The result is in canonical form (see [`Self::canonicalize`]), which
+    /// makes the union **commutative, associative and idempotent** up to the
+    /// `client` label — the algebra the vantage property suite pins.
     pub fn merge(&mut self, other: &MeasurementDataset) {
         for (peer, record) in &other.peers {
             match self.peers.get_mut(peer) {
                 None => {
                     self.peers.insert(*peer, record.clone());
                 }
-                Some(existing) => {
-                    if record.last_seen > existing.last_seen {
-                        existing.agent = record.agent.clone();
-                        existing.protocols = record.protocols.clone();
-                        existing.dht_server = record.dht_server;
-                        existing.last_seen = record.last_seen;
-                    }
-                    existing.first_seen = existing.first_seen.min(record.first_seen);
-                    existing.ever_dht_server |= record.ever_dht_server;
-                    existing.metadata_known |= record.metadata_known;
-                    for addr in &record.addrs {
-                        if !existing.addrs.contains(addr) {
-                            existing.addrs.push(*addr);
-                        }
-                    }
-                    existing.changes.extend(record.changes.iter().cloned());
-                    existing.changes.sort_by_key(|c| c.at);
-                }
+                Some(existing) => merge_peer(existing, record),
             }
         }
         self.connections.extend(other.connections.iter().cloned());
-        self.connections.sort_by_key(|c| c.opened_at);
+        self.snapshots.extend(other.snapshots.iter().copied());
+        self.dht_server |= other.dht_server;
         self.started_at = self.started_at.min(other.started_at);
         self.ended_at = self.ended_at.max(other.ended_at);
+        self.canonicalize();
+    }
+
+    /// Rewrites the data set into its canonical form: per-peer address lists
+    /// and change histories sorted and deduplicated, duplicate connection ids
+    /// collapsed into one spanning record, connections sorted by
+    /// `(opened_at, id)` and snapshots sorted and deduplicated.
+    ///
+    /// [`Self::merge`] canonicalizes implicitly; monitors emit records in
+    /// observation order, which for a single vantage is already the export
+    /// the paper's clients produce, so nothing else calls this by default.
+    pub fn canonicalize(&mut self) {
+        for record in self.peers.values_mut() {
+            canonicalize_peer(record);
+        }
+        canonicalize_connections(&mut self.connections);
+        canonicalize_snapshots(&mut self.snapshots);
+    }
+
+    /// The union of several data sets under the given client label (empty
+    /// input → empty data set with an empty measurement window).
+    ///
+    /// Equivalent to folding [`Self::merge`] over the inputs — every merge
+    /// step is associative and commutative into one canonical form — but
+    /// implemented as one concatenation plus a single [`Self::canonicalize`]
+    /// pass, so a `k`-way union sorts the combined record vectors once
+    /// instead of `k` times. Shares merge's single-id-space precondition.
+    pub fn union_of<'a>(
+        label: impl Into<String>,
+        datasets: impl IntoIterator<Item = &'a MeasurementDataset>,
+    ) -> MeasurementDataset {
+        let mut datasets = datasets.into_iter();
+        let mut union = match datasets.next() {
+            Some(first) => first.clone(),
+            None => MeasurementDataset::new("", false, SimTime::ZERO, SimTime::ZERO),
+        };
+        union.client = label.into();
+        for dataset in datasets {
+            for (peer, record) in &dataset.peers {
+                match union.peers.get_mut(peer) {
+                    None => {
+                        union.peers.insert(*peer, record.clone());
+                    }
+                    Some(existing) => merge_peer(existing, record),
+                }
+            }
+            union.connections.extend(dataset.connections.iter().cloned());
+            union.snapshots.extend(dataset.snapshots.iter().copied());
+            union.dht_server |= dataset.dht_server;
+            union.started_at = union.started_at.min(dataset.started_at);
+            union.ended_at = union.ended_at.max(dataset.ended_at);
+        }
+        union.canonicalize();
+        union
     }
 
     /// Renders the data set as a [`Json`] value (the paper's export schema:
@@ -222,6 +286,95 @@ impl MeasurementDataset {
     }
 }
 
+/// Sorts and deduplicates a peer record's address list and change history.
+fn canonicalize_peer(record: &mut PeerRecord) {
+    record.addrs.sort_unstable();
+    record.addrs.dedup();
+    record.changes.sort_by(change_key_cmp);
+    record.changes.dedup();
+}
+
+fn change_key_cmp(a: &MetadataChangeRecord, b: &MetadataChangeRecord) -> std::cmp::Ordering {
+    (a.at, &a.field, &a.old, &a.new).cmp(&(b.at, &b.field, &b.old, &b.new))
+}
+
+/// Merges `record` into `existing` (inputs need not be canonical; the
+/// merged record's own collections come out sorted and deduplicated).
+/// Metadata follows the later last-seen; on a tie the larger metadata tuple
+/// wins, so the result never depends on which side was `self`.
+fn merge_peer(existing: &mut PeerRecord, record: &PeerRecord) {
+    let metadata = |r: &PeerRecord| (r.last_seen, r.agent.clone(), r.protocols.clone(), r.dht_server);
+    if metadata(record) > metadata(existing) {
+        existing.agent = record.agent.clone();
+        existing.protocols = record.protocols.clone();
+        existing.dht_server = record.dht_server;
+        existing.last_seen = record.last_seen;
+    }
+    existing.first_seen = existing.first_seen.min(record.first_seen);
+    existing.ever_dht_server |= record.ever_dht_server;
+    existing.metadata_known |= record.metadata_known;
+    existing.addrs.extend(record.addrs.iter().copied());
+    existing.addrs.sort_unstable();
+    existing.addrs.dedup();
+    existing.changes.extend(record.changes.iter().cloned());
+    existing.changes.sort_by(change_key_cmp);
+    existing.changes.dedup();
+}
+
+/// A fixed total order on connection records sharing an id: later close wins,
+/// remaining fields only break exact-tie ambiguity deterministically.
+#[allow(clippy::type_complexity)]
+fn conn_rank(c: &ConnectionRecord) -> (SimTime, bool, u8, PeerId, p2pmodel::Multiaddr, u8, SimTime) {
+    let direction = match c.direction {
+        Direction::Inbound => 0u8,
+        Direction::Outbound => 1u8,
+    };
+    let reason = match c.close_reason {
+        None => 0u8,
+        Some(CloseReason::TrimmedLocal) => 1,
+        Some(CloseReason::TrimmedRemote) => 2,
+        Some(CloseReason::PeerLeft) => 3,
+        Some(CloseReason::MeasurementEnd) => 4,
+    };
+    (c.closed_at, c.open_at_end, direction, c.peer, c.remote_addr, reason, c.opened_at)
+}
+
+/// Collapses duplicate `(connection id, peer)` records into one spanning
+/// record (earliest open, latest close; all other fields from the
+/// maximum-ranked record) and sorts by `(opened_at, id, peer)` — a total
+/// order, so the result is independent of input order. Keying on the peer
+/// as well as the id keeps records of *distinct* peers apart even if their
+/// ids collide (defence in depth for out-of-contract cross-run merges).
+fn canonicalize_connections(connections: &mut Vec<ConnectionRecord>) {
+    connections.sort_by_key(|c| (c.id, c.peer));
+    let mut merged: Vec<ConnectionRecord> = Vec::with_capacity(connections.len());
+    for conn in connections.drain(..) {
+        match merged.last_mut() {
+            Some(last) if last.id == conn.id && last.peer == conn.peer => {
+                let earliest_open = last.opened_at.min(conn.opened_at);
+                if conn_rank(&conn) > conn_rank(last) {
+                    *last = conn;
+                }
+                last.opened_at = earliest_open;
+                last.closed_at = last.closed_at.max(last.opened_at);
+            }
+            _ => merged.push(conn),
+        }
+    }
+    merged.sort_by_key(|c| (c.opened_at, c.id, c.peer));
+    *connections = merged;
+}
+
+fn snapshot_key(s: &SnapshotRecord) -> (SimTime, usize, usize, usize) {
+    (s.at, s.open_connections, s.known_pids, s.connected_pids)
+}
+
+/// Sorts snapshots by `(at, counters)` and drops exact duplicates.
+fn canonicalize_snapshots(snapshots: &mut Vec<SnapshotRecord>) {
+    snapshots.sort_by_key(snapshot_key);
+    snapshots.dedup_by_key(|s| snapshot_key(s));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,10 +438,15 @@ mod tests {
     }
 
     #[test]
-    fn merge_unions_peers_and_concatenates_connections() {
+    fn merge_unions_peers_and_deduplicates_connections() {
         let mut a = dataset_with(4, 4);
         let mut b = dataset_with(6, 3);
         b.client = "hydra-h1".into();
+        // Distinct connection ids on b's side: heads draw from one global id
+        // space, so the union must see 4 + 3 records.
+        for (i, conn) in b.connections.iter_mut().enumerate() {
+            conn.id = ConnectionId(100 + i as u64);
+        }
         // Give b newer metadata for peer 0.
         if let Some(record) = b.peers.get_mut(&PeerId::derived(0)) {
             record.last_seen = SimTime::from_hours(20);
@@ -305,13 +463,93 @@ mod tests {
     }
 
     #[test]
-    fn merge_is_idempotent_for_peer_sets() {
+    fn merge_is_idempotent() {
+        // The latent double-count bug this regression pins: merging a data
+        // set with itself (or with another monitor's view of the *same*
+        // connections) used to double connection_count and every analysis
+        // built on it.
         let mut a = dataset_with(4, 2);
         let b = a.clone();
         a.merge(&b);
         assert_eq!(a.pid_count(), 4);
-        // Connections are concatenated (the caller merges distinct heads, not
-        // the same data set twice), so the count doubles.
-        assert_eq!(a.connection_count(), 4);
+        assert_eq!(a.connection_count(), 2, "same connection ids must not double-count");
+        assert_eq!(a.snapshots.len(), b.snapshots.len());
+        let again = {
+            let mut again = a.clone();
+            again.merge(&b);
+            again
+        };
+        assert_eq!(again.to_json_string(), a.to_json_string());
+    }
+
+    #[test]
+    fn merge_collapses_duplicate_ids_with_skewed_windows() {
+        // Two monitors record the same connection with skewed refresh
+        // windows (e.g. a 30 s-polling client rounds the close up, a
+        // logging client records it exactly). The union must keep ONE
+        // record spanning the earliest open and the latest close.
+        let mut a = dataset_with(2, 0);
+        let mut b = dataset_with(2, 0);
+        let record = ConnectionRecord {
+            id: ConnectionId(7),
+            peer: PeerId::derived(1),
+            direction: Direction::Inbound,
+            remote_addr: addr(1),
+            opened_at: SimTime::from_secs(100),
+            closed_at: SimTime::from_secs(995),
+            open_at_end: false,
+            close_reason: None,
+        };
+        let mut skewed = record.clone();
+        skewed.opened_at = SimTime::from_secs(90); // saw the open earlier
+        skewed.closed_at = SimTime::from_secs(1020); // close rounded up
+        a.connections.push(record);
+        b.connections.push(skewed);
+        a.merge(&b);
+        assert_eq!(a.connection_count(), 1);
+        let merged = &a.connections[0];
+        assert_eq!(merged.opened_at, SimTime::from_secs(90));
+        assert_eq!(merged.closed_at, SimTime::from_secs(1020));
+        // classify_peers-style accounting sees one connection, not two.
+        assert_eq!(a.connections_of(&PeerId::derived(1)).len(), 1);
+    }
+
+    #[test]
+    fn merge_is_commutative_up_to_the_client_label() {
+        let a = dataset_with(4, 4);
+        let mut b = dataset_with(6, 3);
+        for (i, conn) in b.connections.iter_mut().enumerate() {
+            conn.id = ConnectionId(50 + i as u64);
+            conn.opened_at = SimTime::from_secs(5 + i as u64 * 10);
+        }
+        if let Some(record) = b.peers.get_mut(&PeerId::derived(1)) {
+            record.agent = "go-ipfs/0.12.0/".into(); // same last_seen, other metadata
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        ba.client = ab.client.clone();
+        assert_eq!(ab.to_json_string(), ba.to_json_string());
+    }
+
+    #[test]
+    fn union_of_folds_and_labels() {
+        let a = dataset_with(4, 2);
+        let mut b = dataset_with(6, 2);
+        for (i, conn) in b.connections.iter_mut().enumerate() {
+            conn.id = ConnectionId(80 + i as u64);
+        }
+        let union = MeasurementDataset::union_of("vantage-union", [&a, &b]);
+        assert_eq!(union.client, "vantage-union");
+        assert_eq!(union.pid_count(), 6);
+        assert_eq!(union.connection_count(), 4);
+        // Union of one input is that input, canonicalized.
+        let single = MeasurementDataset::union_of("x", [&a]);
+        assert_eq!(single.pid_count(), a.pid_count());
+        // Empty union is a valid empty data set.
+        let empty = MeasurementDataset::union_of("none", []);
+        assert_eq!(empty.pid_count(), 0);
+        assert_eq!(empty.client, "none");
     }
 }

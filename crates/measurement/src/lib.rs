@@ -18,8 +18,13 @@
 //!   a scenario, run the simulation, feed every monitor and return the
 //!   complete data for one measurement period.
 //! * [`sweep`] scales that to whole grids of campaigns: periods × scales ×
-//!   seeds × observer configurations run in parallel with deterministic
-//!   per-cell seed derivation, aggregated into cross-seed statistics.
+//!   seeds × observer configurations × vantage counts run in parallel with
+//!   deterministic per-cell seed derivation, aggregated into cross-seed
+//!   statistics.
+//! * [`vantage`] deploys several primary-client vantage points in one
+//!   campaign and produces per-vantage data sets plus their deduplicating
+//!   union — the input of the capture–recapture network-size estimators in
+//!   the `analysis` crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +32,11 @@
 pub mod crawler;
 pub mod dataset;
 pub mod monitor;
+pub(crate) mod parallel;
 pub mod record;
 pub mod runner;
 pub mod sweep;
+pub mod vantage;
 
 pub use crawler::{ActiveCrawler, CrawlSnapshot, CrawlSummary};
 pub use dataset::MeasurementDataset;
@@ -39,3 +46,7 @@ pub use runner::{
     run_built, run_period, run_scenario, run_scenario_suite, MeasurementCampaign,
 };
 pub use sweep::{run_sweep, ObserverTweak, SweepGrid, SweepReport, SweepRunner};
+pub use vantage::{
+    run_vantage_built, run_vantage_campaign, run_vantage_suite, single_vantage_view,
+    VantageCampaign,
+};

@@ -86,20 +86,15 @@ impl HydraMonitor {
         build_dataset(log, None, self.update_interval)
     }
 
-    /// Converts the logs of all heads and additionally returns the union data
-    /// set (the paper reports hydra PID counts as the union of all heads).
+    /// Converts the logs of all heads and additionally returns the
+    /// deduplicating union data set (the paper reports hydra PID counts as
+    /// the union of all heads; all heads share one campaign, so they satisfy
+    /// the union's single-id-space precondition).
     pub fn ingest(&self, logs: &[&ObserverLog]) -> (Vec<MeasurementDataset>, MeasurementDataset) {
         let heads: Vec<MeasurementDataset> = logs.iter().map(|log| self.ingest_head(log)).collect();
-        let mut union = match heads.first() {
-            Some(first) => {
-                let mut union = first.clone();
-                union.client = "hydra-union".to_string();
-                union
-            }
-            None => MeasurementDataset::new("hydra-union", true, SimTime::ZERO, SimTime::ZERO),
-        };
-        for head in heads.iter().skip(1) {
-            union.merge(head);
+        let mut union = MeasurementDataset::union_of("hydra-union", &heads);
+        if heads.is_empty() {
+            union.dht_server = true;
         }
         (heads, union)
     }

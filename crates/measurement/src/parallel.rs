@@ -1,0 +1,69 @@
+//! The shared work-stealing scaffold behind every parallel campaign runner.
+//!
+//! `run_scenario_suite`, `run_vantage_suite` and the sweep runner all
+//! execute independent campaign cells on scoped OS threads and must return
+//! results in *input* order regardless of scheduling — determinism comes
+//! from per-item seeds, never from thread interleaving. This module holds
+//! that loop once: an atomic cursor over the items (work stealing), one
+//! result slot per item, and a barrier at the end of the scope.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `threads` scoped OS threads and returns
+/// the results in item order. `f` receives the item index and the item;
+/// it runs on worker threads, possibly out of order.
+///
+/// `threads` is clamped to `[1, items.len()]`. A panic in `f` propagates
+/// out of the scope, like the inlined loops it replaces.
+pub(crate) fn run_parallel_ordered<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else {
+                    break;
+                };
+                let result = f(idx, item);
+                slots.lock().expect("parallel result lock")[idx] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("parallel result lock")
+        .into_iter()
+        .map(|slot| slot.expect("every item completes"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..57).collect();
+        for threads in [1, 4, 64] {
+            let out = run_parallel_ordered(&items, threads, |idx, item| {
+                assert_eq!(idx as u64, *item);
+                item * 2
+            });
+            assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = run_parallel_ordered(&[] as &[u64], 8, |_, item| *item);
+        assert!(out.is_empty());
+    }
+}

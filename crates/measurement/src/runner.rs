@@ -8,11 +8,10 @@
 use crate::crawler::{ActiveCrawler, CrawlSnapshot, CrawlSummary};
 use crate::dataset::MeasurementDataset;
 use crate::monitor::{GoIpfsMonitor, HydraMonitor};
+use crate::parallel::run_parallel_ordered;
 use netsim::{GroundTruth, ObserverLog};
 use population::{ChurnScenario, MeasurementPeriod, Scenario};
 use simclock::SimTime;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// The complete result of reproducing one measurement period.
 #[derive(Debug, Clone)]
@@ -136,32 +135,14 @@ pub fn run_scenario_suite(
     scenarios: &[ChurnScenario],
     threads: usize,
 ) -> Vec<MeasurementCampaign> {
-    let threads = threads.clamp(1, scenarios.len().max(1));
-    let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<MeasurementCampaign>>> = Mutex::new(vec![None; scenarios.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(churn) = scenarios.get(idx) else {
-                    break;
-                };
-                let campaign = run_scenario(
-                    Scenario::new(period)
-                        .with_scale(scale)
-                        .with_seed(seed)
-                        .with_churn(churn.clone()),
-                );
-                slots.lock().expect("scenario suite lock")[idx] = Some(campaign);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .expect("scenario suite lock")
-        .into_iter()
-        .map(|slot| slot.expect("every scenario completes"))
-        .collect()
+    run_parallel_ordered(scenarios, threads, |_, churn| {
+        run_scenario(
+            Scenario::new(period)
+                .with_scale(scale)
+                .with_seed(seed)
+                .with_churn(churn.clone()),
+        )
+    })
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //!   population scales, seeds and [`ObserverTweak`]s to run.
 //! * [`run_sweep`] / [`SweepRunner`] execute every cell of the grid in
 //!   parallel on OS threads (one campaign per cell, work-stealing over a
-//!   shared cursor) and stream each finished [`MeasurementCampaign`] into a
+//!   shared cursor) and stream each finished [`crate::MeasurementCampaign`] into a
 //!   per-cell [`CellReport`], so memory stays bounded by the largest single
 //!   campaign rather than the whole grid.
 //! * [`SweepReport`] aggregates the cells into cross-seed mean / standard
@@ -52,14 +52,15 @@
 //! assert!(agg.connections.mean > 0.0);
 //! ```
 
-use crate::runner::{run_built, MeasurementCampaign};
+use crate::dataset::MeasurementDataset;
+use crate::parallel::run_parallel_ordered;
+use crate::runner::run_built;
+use crate::vantage::run_vantage_built;
 use jsonio::Json;
 use population::{ChurnScenario, MeasurementPeriod, Scenario};
 use simclock::rng::fnv1a;
 use simclock::SimDuration;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// A variation applied to every observer of a scenario, forming the fourth
 /// grid dimension (the paper's Table I varies exactly these knobs between
@@ -113,6 +114,11 @@ pub struct SweepGrid {
     pub tweaks: Vec<ObserverTweak>,
     /// Churn regimes layered onto each period (defaults to baseline only).
     pub scenarios: Vec<ChurnScenario>,
+    /// Vantage counts — the sixth grid dimension (defaults to `[1]`, the
+    /// paper's single-monitor deployment). Cells with more than one vantage
+    /// run the multi-vantage pipeline and report metrics of the
+    /// deduplicating union data set.
+    pub vantages: Vec<usize>,
     /// Base seed mixed into every cell's campaign seed, so two sweeps over
     /// the same grid can still be decorrelated.
     pub base_seed: u64,
@@ -128,6 +134,7 @@ impl SweepGrid {
             seeds: (1..=4).collect(),
             tweaks: vec![ObserverTweak::default()],
             scenarios: vec![ChurnScenario::Baseline],
+            vantages: vec![1],
             base_seed: 0x5eed_0000,
         }
     }
@@ -167,6 +174,13 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the vantage counts (the sixth grid dimension).
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
+    pub fn with_vantages(mut self, vantages: Vec<usize>) -> Self {
+        self.vantages = vantages;
+        self
+    }
+
     /// Replaces the base seed.
     #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_base_seed(mut self, base_seed: u64) -> Self {
@@ -181,6 +195,7 @@ impl SweepGrid {
             * self.seeds.len()
             * self.tweaks.len()
             * self.scenarios.len()
+            * self.vantages.len()
     }
 
     /// Checks the grid for configurations that would produce a meaningless
@@ -230,40 +245,60 @@ impl SweepGrid {
                 return Err(format!("duplicate scenario {:?}", scenario.label()));
             }
         }
+        for (i, &vantages) in self.vantages.iter().enumerate() {
+            if vantages == 0 {
+                return Err("vantage count must be at least 1".to_string());
+            }
+            if self.vantages[..i].contains(&vantages) {
+                return Err(format!("duplicate vantage count {vantages}"));
+            }
+        }
         Ok(())
     }
 
     /// Materialises the grid cells in deterministic order (period-major,
-    /// then scenario, then tweak, then scale, then seed).
+    /// then scenario, then vantage count, then tweak, then scale, then
+    /// seed).
     ///
     /// Campaign seeds are derived from each cell's own coordinates (period
-    /// label, scenario label, tweak label, scale bits, seed) rather than
-    /// grid positions, so reordering or subsetting the grid leaves every
-    /// surviving cell's seed — and therefore its results — unchanged.
-    /// Reproducing one cell in isolation is a one-liner: a
+    /// label, scenario label, vantage count, tweak label, scale bits, seed)
+    /// rather than grid positions, so reordering or subsetting the grid
+    /// leaves every surviving cell's seed — and therefore its results —
+    /// unchanged. Reproducing one cell in isolation is a one-liner: a
     /// single-period/scale/seed grid with the same base seed.
+    ///
+    /// Single-vantage cells skip the vantage-count mix entirely, so every
+    /// grid from before the vantage dimension existed (implicitly
+    /// `vantages = [1]`) keeps its campaign seeds — and therefore its
+    /// results — bit-for-bit.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for &period in &self.periods {
             for scenario in &self.scenarios {
-                for tweak in &self.tweaks {
-                    for &scale in &self.scales {
-                        for &seed in &self.seeds {
-                            let mut mixed = splitmix(self.base_seed);
-                            mixed = splitmix(mixed ^ fnv1a(period.label()));
-                            mixed = splitmix(mixed ^ fnv1a(scenario.label()));
-                            mixed = splitmix(mixed ^ fnv1a(&tweak.label));
-                            mixed = splitmix(mixed ^ scale.to_bits());
-                            mixed = splitmix(mixed ^ seed);
-                            cells.push(SweepCell {
-                                index: cells.len(),
-                                period,
-                                scenario: scenario.clone(),
-                                scale,
-                                seed,
-                                tweak: tweak.clone(),
-                                campaign_seed: mixed,
-                            });
+                for &vantages in &self.vantages {
+                    for tweak in &self.tweaks {
+                        for &scale in &self.scales {
+                            for &seed in &self.seeds {
+                                let mut mixed = splitmix(self.base_seed);
+                                mixed = splitmix(mixed ^ fnv1a(period.label()));
+                                mixed = splitmix(mixed ^ fnv1a(scenario.label()));
+                                if vantages > 1 {
+                                    mixed = splitmix(mixed ^ vantages as u64);
+                                }
+                                mixed = splitmix(mixed ^ fnv1a(&tweak.label));
+                                mixed = splitmix(mixed ^ scale.to_bits());
+                                mixed = splitmix(mixed ^ seed);
+                                cells.push(SweepCell {
+                                    index: cells.len(),
+                                    period,
+                                    scenario: scenario.clone(),
+                                    vantages,
+                                    scale,
+                                    seed,
+                                    tweak: tweak.clone(),
+                                    campaign_seed: mixed,
+                                });
+                            }
                         }
                     }
                 }
@@ -289,6 +324,8 @@ pub struct SweepCell {
     pub period: MeasurementPeriod,
     /// The churn regime layered onto the period.
     pub scenario: ChurnScenario,
+    /// Number of vantage points deployed.
+    pub vantages: usize,
     /// Population scale.
     pub scale: f64,
     /// The grid seed (the "replicate number").
@@ -302,13 +339,14 @@ pub struct SweepCell {
 }
 
 impl SweepCell {
-    /// Runs this cell's campaign (building the scenario, applying the
-    /// observer tweak, running the simulation and all monitors).
-    pub fn run(&self) -> MeasurementCampaign {
+    /// Materialises this cell's scenario and applies the observer tweak to
+    /// every deployed observer (vantage clones included).
+    fn build(&self) -> population::ScenarioRun {
         let scenario = Scenario::new(self.period)
             .with_scale(self.scale)
             .with_seed(self.campaign_seed)
-            .with_churn(self.scenario.clone());
+            .with_churn(self.scenario.clone())
+            .with_vantage_points(self.vantages);
         let mut built = scenario.build();
         for observer in &mut built.config.observers {
             if (self.tweak.limits_scale - 1.0).abs() > f64::EPSILON {
@@ -328,13 +366,33 @@ impl SweepCell {
                 observer.outbound_target = target;
             }
         }
-        run_built(built)
+        built
+    }
+
+    /// Runs this cell's campaign and reduces it to the data set the cell's
+    /// metrics are computed from, plus the ground-truth population size.
+    ///
+    /// A single-vantage cell runs the paper pipeline and reports its primary
+    /// data set; a multi-vantage cell runs the vantage pipeline and reports
+    /// the deduplicating union (for one vantage the two coincide, which is
+    /// why the vantage dimension leaves existing grids' numbers unchanged).
+    pub fn run(&self) -> (MeasurementDataset, usize) {
+        let built = self.build();
+        if self.vantages > 1 {
+            let campaign = run_vantage_built(built);
+            let population = campaign.ground_truth.population_size();
+            (campaign.union, population)
+        } else {
+            let campaign = run_built(built);
+            let population = campaign.ground_truth.population_size();
+            (campaign.primary().clone(), population)
+        }
     }
 }
 
 /// The metrics extracted from one cell's campaign.
 ///
-/// The full [`MeasurementCampaign`] is dropped once these are computed, so a
+/// The full [`crate::MeasurementCampaign`] is dropped once these are computed, so a
 /// 100-cell sweep never holds 100 campaigns in memory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellReport {
@@ -342,6 +400,9 @@ pub struct CellReport {
     pub period: String,
     /// Churn-scenario label (`"baseline"`, `"flashcrowd"`, …).
     pub scenario: String,
+    /// Number of vantage points deployed (metrics of multi-vantage cells
+    /// describe the union data set).
+    pub vantages: u64,
     /// Population scale.
     pub scale: f64,
     /// Grid seed.
@@ -374,9 +435,14 @@ pub struct CellReport {
 }
 
 impl CellReport {
-    /// Computes the report for a finished campaign.
-    pub fn from_campaign(cell: &SweepCell, campaign: &MeasurementCampaign) -> CellReport {
-        let dataset = campaign.primary();
+    /// Computes the report from a cell's reduced data set (the primary
+    /// monitor's for single-vantage cells, the union's otherwise) and the
+    /// run's ground-truth population size.
+    pub fn from_dataset(
+        cell: &SweepCell,
+        dataset: &MeasurementDataset,
+        ground_truth_population: usize,
+    ) -> CellReport {
         let durations: Vec<f64> = dataset
             .connections
             .iter()
@@ -395,6 +461,7 @@ impl CellReport {
         CellReport {
             period: cell.period.label().to_string(),
             scenario: cell.scenario.label().to_string(),
+            vantages: cell.vantages as u64,
             scale: cell.scale,
             seed: cell.seed,
             tweak: cell.tweak.label.clone(),
@@ -408,7 +475,7 @@ impl CellReport {
             conn_avg_secs,
             conn_median_secs,
             ip_groups,
-            ground_truth_population: campaign.ground_truth.population_size() as u64,
+            ground_truth_population: ground_truth_population as u64,
         }
     }
 
@@ -416,6 +483,7 @@ impl CellReport {
         let mut obj = Json::object();
         obj.insert("period", self.period.as_str());
         obj.insert("scenario", self.scenario.as_str());
+        obj.insert("vantages", self.vantages);
         obj.insert("scale", self.scale);
         obj.insert("seed", self.seed);
         obj.insert("tweak", self.tweak.as_str());
@@ -493,6 +561,8 @@ pub struct AggregateRow {
     pub period: String,
     /// Churn-scenario label.
     pub scenario: String,
+    /// Number of vantage points deployed.
+    pub vantages: u64,
     /// Population scale.
     pub scale: f64,
     /// Observer-tweak label.
@@ -518,6 +588,7 @@ impl AggregateRow {
         let mut obj = Json::object();
         obj.insert("period", self.period.as_str());
         obj.insert("scenario", self.scenario.as_str());
+        obj.insert("vantages", self.vantages);
         obj.insert("scale", self.scale);
         obj.insert("tweak", self.tweak.as_str());
         obj.insert("seeds", self.seeds);
@@ -547,11 +618,12 @@ impl SweepReport {
         let mut aggregates: Vec<AggregateRow> = Vec::new();
         // Group scales by bit pattern, not f64 equality, so even a rogue NaN
         // scale groups with itself instead of producing empty aggregates.
-        let mut keys: Vec<(String, String, u64, String)> = Vec::new();
+        let mut keys: Vec<(String, String, u64, u64, String)> = Vec::new();
         for cell in &cells {
             let key = (
                 cell.period.clone(),
                 cell.scenario.clone(),
+                cell.vantages,
                 cell.scale.to_bits(),
                 cell.tweak.clone(),
             );
@@ -559,13 +631,14 @@ impl SweepReport {
                 keys.push(key);
             }
         }
-        for (period, scenario, scale_bits, tweak) in keys {
+        for (period, scenario, vantages, scale_bits, tweak) in keys {
             let scale = f64::from_bits(scale_bits);
             let group: Vec<&CellReport> = cells
                 .iter()
                 .filter(|c| {
                     c.period == period
                         && c.scenario == scenario
+                        && c.vantages == vantages
                         && c.scale.to_bits() == scale_bits
                         && c.tweak == tweak
                 })
@@ -577,6 +650,7 @@ impl SweepReport {
             aggregates.push(AggregateRow {
                 period,
                 scenario,
+                vantages,
                 scale,
                 tweak,
                 seeds: group.len(),
@@ -622,7 +696,7 @@ impl SweepReport {
     /// columns — the form used for Table II / Fig. 7 error bars.
     pub fn summary_table(&self) -> String {
         let header = [
-            "Period", "Scenario", "Scale", "Tweak", "Seeds", "Conns", "Avg[s]", "Median[s]", "PIDs", "IPgroups",
+            "Period", "Scenario", "Vant", "Scale", "Tweak", "Seeds", "Conns", "Avg[s]", "Median[s]", "PIDs", "IPgroups",
         ];
         let mut rows: Vec<Vec<String>> = vec![header.iter().map(|s| s.to_string()).collect()];
         for agg in &self.aggregates {
@@ -630,6 +704,7 @@ impl SweepReport {
             rows.push(vec![
                 agg.period.clone(),
                 agg.scenario.clone(),
+                agg.vantages.to_string(),
                 format!("{}", agg.scale),
                 agg.tweak.clone(),
                 agg.seeds.to_string(),
@@ -716,33 +791,15 @@ impl SweepRunner {
             return SweepReport::from_cells(Vec::new());
         }
         let threads = self.effective_threads(cells.len());
-        let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<CellReport>>> = Mutex::new(vec![None; cells.len()]);
-
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(idx) else {
-                        break;
-                    };
-                    // The campaign is dropped right after metric extraction,
-                    // keeping peak memory at O(threads) campaigns.
-                    let campaign = cell.run();
-                    let report = CellReport::from_campaign(cell, &campaign);
-                    drop(campaign);
-                    progress(&report);
-                    slots.lock().expect("sweep result lock")[idx] = Some(report);
-                });
-            }
+        let completed = run_parallel_ordered(&cells, threads, |_, cell| {
+            // The campaign is reduced to its data set inside `run`, keeping
+            // peak memory at O(threads) campaigns.
+            let (dataset, population) = cell.run();
+            let report = CellReport::from_dataset(cell, &dataset, population);
+            drop(dataset);
+            progress(&report);
+            report
         });
-
-        let completed: Vec<CellReport> = slots
-            .into_inner()
-            .expect("sweep result lock")
-            .into_iter()
-            .map(|slot| slot.expect("every cell completes"))
-            .collect();
         SweepReport::from_cells(completed)
     }
 }
@@ -938,6 +995,44 @@ mod tests {
         let dup = SweepGrid::new(vec![MeasurementPeriod::P1])
             .with_scenarios(vec![ChurnScenario::Baseline, ChurnScenario::Baseline]);
         assert!(dup.validate().unwrap_err().contains("duplicate scenario"));
+    }
+
+    #[test]
+    fn vantage_axis_expands_the_grid_and_keeps_single_vantage_seeds() {
+        let base = SweepGrid::new(vec![MeasurementPeriod::P4])
+            .with_scales(vec![0.003])
+            .with_seed_count(2);
+        let multi = base.clone().with_vantages(vec![1, 3]);
+        assert_eq!(multi.cell_count(), 4);
+        assert!(multi.validate().is_ok());
+        // Single-vantage cells keep the campaign seeds they had before the
+        // vantage dimension existed, so old grids reproduce bit-for-bit.
+        let old = base.cells();
+        let cells = multi.cells();
+        let v1: Vec<&SweepCell> = cells.iter().filter(|c| c.vantages == 1).collect();
+        assert_eq!(v1.len(), old.len());
+        for (a, b) in old.iter().zip(&v1) {
+            assert_eq!(a.campaign_seed, b.campaign_seed);
+        }
+        let report = run_sweep(&multi);
+        assert_eq!(report.aggregates.len(), 2, "one row per vantage count");
+        let one = report.aggregates.iter().find(|a| a.vantages == 1).unwrap();
+        let three = report.aggregates.iter().find(|a| a.vantages == 3).unwrap();
+        assert!(
+            three.pids.mean > one.pids.mean,
+            "the union over 3 vantages must see more PIDs than one monitor ({} vs {})",
+            three.pids.mean,
+            one.pids.mean
+        );
+        assert!(three.connections.mean > one.connections.mean);
+        // The axis shows up in cells, JSON and the text table.
+        assert!(report.cells.iter().any(|c| c.vantages == 3));
+        let json = jsonio::Json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(json.array_field("cells").unwrap()[0].u64_field("vantages").unwrap(), 1);
+        assert!(report.summary_table().contains("Vant"));
+        // Degenerate vantage configurations are rejected.
+        assert!(base.clone().with_vantages(vec![0]).validate().is_err());
+        assert!(base.clone().with_vantages(vec![2, 2]).validate().is_err());
     }
 
     #[test]

@@ -113,6 +113,23 @@ impl NetworkConfig {
         }
     }
 
+    /// Creates a configuration deploying several observers in one campaign
+    /// (hydra heads, multi-vantage measurement fleets). Each observer feeds
+    /// its own [`crate::ObservationSink`] over the run's shared
+    /// [`crate::IdentifyRegistry`].
+    pub fn multi_observer(seed: u64, duration: SimDuration, observers: Vec<ObserverSpec>) -> Self {
+        NetworkConfig {
+            seed,
+            duration,
+            observers,
+        }
+    }
+
+    /// Registers one more observer peer in the campaign.
+    pub fn push_observer(&mut self, observer: ObserverSpec) {
+        self.observers.push(observer);
+    }
+
     /// The end time of the simulation.
     pub fn end_time(&self) -> SimTime {
         SimTime::ZERO + self.duration
@@ -148,5 +165,21 @@ mod tests {
         let cfg = NetworkConfig::single_observer(7, SimDuration::from_hours(24), spec);
         assert_eq!(cfg.end_time(), SimTime::from_hours(24));
         assert_eq!(cfg.observers.len(), 1);
+    }
+
+    #[test]
+    fn multi_observer_config_registers_every_vantage() {
+        let spec = |n: u64| {
+            ObserverSpec::new(format!("v{n}"), PeerId::derived(n), DhtRole::Server, ConnLimits::new(5, 9))
+        };
+        let mut cfg = NetworkConfig::multi_observer(
+            7,
+            SimDuration::from_hours(1),
+            vec![spec(1), spec(2)],
+        );
+        assert_eq!(cfg.observers.len(), 2);
+        cfg.push_observer(spec(3));
+        assert_eq!(cfg.observers.len(), 3);
+        assert_eq!(cfg.observers[2].name, "v3");
     }
 }

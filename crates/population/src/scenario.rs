@@ -136,17 +136,25 @@ pub struct Scenario {
     /// The churn regime layered onto the period
     /// ([`ChurnScenario::Baseline`] reproduces the paper's benign churn).
     pub churn: ChurnScenario,
+    /// Number of primary-client vantage points deployed (≥ 1). The paper
+    /// runs one go-ipfs observer; additional vantages are clones of its
+    /// configuration under fresh identities (`"vantage-v1"`, …) spread over
+    /// the DHT key space, the capture occasions of the capture–recapture
+    /// network-size estimators. `1` reproduces the paper's layout exactly.
+    pub vantages: usize,
 }
 
 impl Scenario {
     /// Creates a scenario for the given period with a default seed, a
-    /// laptop-friendly scale of 0.05 and baseline churn.
+    /// laptop-friendly scale of 0.05, baseline churn and a single vantage
+    /// point.
     pub fn new(period: MeasurementPeriod) -> Self {
         Scenario {
             period,
             seed: 0x1975_2022,
             scale: 0.05,
             churn: ChurnScenario::Baseline,
+            vantages: 1,
         }
     }
 
@@ -165,6 +173,14 @@ impl Scenario {
     /// Returns a copy with the given churn regime layered on top.
     pub fn with_churn(mut self, churn: ChurnScenario) -> Self {
         self.churn = churn;
+        self
+    }
+
+    /// Returns a copy deploying `vantages` primary-client vantage points
+    /// (clamped to at least one). With more than one, the extra observers
+    /// appear in [`Self::observers`] after the period's paper layout.
+    pub fn with_vantage_points(mut self, vantages: usize) -> Self {
+        self.vantages = vantages.max(1);
         self
     }
 
@@ -213,6 +229,31 @@ impl Scenario {
                 .with_outbound_target(((60.0 * self.scale.max(0.02)).round() as usize).max(6))
                 .with_maintenance_interval(SimDuration::from_secs(60));
                 observers.push(spec);
+            }
+        }
+        // Extra vantage points: clones of the period's primary (go-ipfs)
+        // configuration under fresh identities, spread over the DHT key
+        // space like hydra heads, each on its own public address. The RNG
+        // draws happen *after* the hydra draws, so a multi-vantage scenario
+        // leaves the paper-layout observers byte-identical — and a
+        // single-vantage scenario draws nothing at all, which is what makes
+        // the 1-vantage differential test exact.
+        if self.vantages > 1 {
+            if let Some(primary) = observers.first().cloned() {
+                for vantage in 1..self.vantages {
+                    let peer_id = PeerId::with_prefix((vantage % 16) as u16, 4, &mut rng);
+                    let spec = ObserverSpec {
+                        name: format!("vantage-v{vantage}"),
+                        peer_id,
+                        ..primary.clone()
+                    }
+                    .with_addr(Multiaddr::new(
+                        IpAddress::V4(0x5BCD_0100 + vantage as u32),
+                        p2pmodel::Transport::Tcp,
+                        4001,
+                    ));
+                    observers.push(spec);
+                }
             }
         }
         observers
@@ -353,6 +394,37 @@ mod tests {
                 assert!(cpl < 3, "heads {i} and {j} share too long a prefix");
             }
         }
+    }
+
+    #[test]
+    fn vantage_points_clone_the_primary_under_fresh_identities() {
+        let base = Scenario::new(MeasurementPeriod::P4).with_scale(0.005);
+        let multi = base.clone().with_vantage_points(3).observers();
+        assert_eq!(multi.len(), 3);
+        assert_eq!(multi[0].name, "go-ipfs");
+        assert_eq!(multi[1].name, "vantage-v1");
+        assert_eq!(multi[2].name, "vantage-v2");
+        for vantage in &multi[1..] {
+            // Same monitor configuration (equal catchability), own identity.
+            assert_eq!(vantage.role, multi[0].role);
+            assert_eq!(vantage.limits, multi[0].limits);
+            assert_eq!(vantage.outbound_target, multi[0].outbound_target);
+            assert_ne!(vantage.peer_id, multi[0].peer_id);
+            assert_ne!(vantage.addr, multi[0].addr);
+        }
+        assert_ne!(multi[1].peer_id, multi[2].peer_id);
+        assert_ne!(multi[1].addr, multi[2].addr);
+
+        // One vantage is the paper layout, byte for byte.
+        let single = base.clone().with_vantage_points(1).observers();
+        assert_eq!(single, base.observers());
+        // Hydra periods keep their heads unchanged when vantages are added.
+        let p1 = Scenario::new(MeasurementPeriod::P1);
+        let p1_multi = p1.clone().with_vantage_points(2).observers();
+        assert_eq!(&p1_multi[..3], &p1.observers()[..]);
+        assert_eq!(p1_multi[3].name, "vantage-v1");
+        // The clamp keeps degenerate requests runnable.
+        assert_eq!(p1.clone().with_vantage_points(0).vantages, 1);
     }
 
     #[test]

@@ -43,15 +43,17 @@ pub use simclock;
 /// The most commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
     pub use analysis::{
-        agent_histogram, classify_peers, connection_count_cdf, connection_stats,
-        connection_timeline, direction_stats, fingerprint_groups, horizon_comparison, ip_grouping,
-        max_duration_cdf, network_size_estimate, pid_growth, protocol_histogram, robustness_report,
-        role_switches, scenario_robustness, version_changes, ConnectionClass, RobustnessReport,
+        agent_histogram, analyze_vantages, chao1, classify_peers, connection_count_cdf,
+        connection_stats, connection_timeline, direction_stats, fingerprint_groups,
+        horizon_comparison, ip_grouping, lincoln_petersen, max_duration_cdf,
+        network_size_estimate, pid_growth, protocol_histogram, robustness_report, role_switches,
+        scenario_robustness, vantage_report, version_changes, ConnectionClass, RobustnessReport,
+        VantageAnalysis, VantageReport,
     };
     pub use measurement::{
-        run_period, run_scenario, run_scenario_suite, run_sweep, ActiveCrawler, GoIpfsMonitor,
-        HydraMonitor, MeasurementCampaign, MeasurementDataset, ObserverTweak, SweepGrid,
-        SweepReport, SweepRunner,
+        run_period, run_scenario, run_scenario_suite, run_sweep, run_vantage_campaign,
+        run_vantage_suite, ActiveCrawler, GoIpfsMonitor, HydraMonitor, MeasurementCampaign,
+        MeasurementDataset, ObserverTweak, SweepGrid, SweepReport, SweepRunner, VantageCampaign,
     };
     pub use netsim::{
         DhtRole, Network, NetworkConfig, ObserverSpec, PopulationAction, PopulationEvent,

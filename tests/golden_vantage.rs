@@ -1,0 +1,121 @@
+//! Golden-dataset regression tests for the multi-vantage subsystem.
+//!
+//! Mirrors `golden_scenarios`: P4 at SCALE = 0.005 with **3 vantage points**
+//! under the flash-crowd and PID-rotation-flood regimes must reproduce the
+//! committed fixtures in `tests/golden/` *byte-identically*, at any thread
+//! count. Each fixture holds the scenario's full vantage analysis (per-
+//! vantage horizons, overlap matrix, capture–recapture accumulation rows —
+//! exactly what `repro vantage` emits) plus an FNV-1a fingerprint of the
+//! union data set's full JSON export, so any drift in the simulator, the
+//! monitors, the union merge or the estimators fails loudly here.
+//!
+//! If a change intentionally alters simulation traces, regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_vantage` and review the diff
+//! like any other code change.
+
+use ipfs_passive_measurement::prelude::*;
+use jsonio::Json;
+use simclock::rng::fnv1a;
+use std::path::PathBuf;
+
+mod common;
+use common::{SCALE, SEED};
+
+const VANTAGES: usize = 3;
+
+/// The regimes the fixtures pin (same pair as the scenario fixtures: the
+/// flood stresses PID inflation, the flash crowd stresses one-time noise).
+fn pinned_scenarios() -> Vec<ChurnScenario> {
+    vec![ChurnScenario::flash_crowd(), ChurnScenario::pid_rotation_flood()]
+}
+
+fn golden_path(scenario: &ChurnScenario) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("vantage_p4_s{SCALE}_{}.json", scenario.label()))
+}
+
+/// Renders the committed fixture content for one finished vantage campaign.
+fn golden_string(campaign: &VantageCampaign) -> String {
+    let report = vantage_report(std::slice::from_ref(campaign));
+    let Json::Object(fields) = report.to_json() else {
+        panic!("vantage report is an object");
+    };
+    let mut obj = Json::object();
+    obj.insert(
+        "union_fingerprint",
+        format!("{:016x}", fnv1a(&campaign.union.to_json_string())),
+    );
+    for (key, value) in fields {
+        obj.insert(key, value);
+    }
+    let mut text = obj.to_string_pretty();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn p4_vantage_campaigns_reproduce_the_committed_fixtures_at_any_thread_count() {
+    let scenarios = pinned_scenarios();
+    let serial = run_vantage_suite(MeasurementPeriod::P4, SCALE, SEED, VANTAGES, &scenarios, 1);
+    let parallel = run_vantage_suite(MeasurementPeriod::P4, SCALE, SEED, VANTAGES, &scenarios, 2);
+    for ((scenario, a), b) in scenarios.iter().zip(&serial).zip(&parallel) {
+        let rendered = golden_string(a);
+        assert_eq!(
+            rendered,
+            golden_string(b),
+            "{scenario}: 1-thread and 2-thread runs must be byte-identical"
+        );
+        let path = golden_path(scenario);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+        }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_vantage",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            committed,
+            "{scenario}: output drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn fixtures_are_valid_json_with_the_documented_schema() {
+    for scenario in pinned_scenarios() {
+        let path = golden_path(&scenario);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            // The reproduction test reports the actionable error.
+            continue;
+        };
+        let json = Json::parse(&text).expect("fixture parses");
+        assert!(json.str_field("union_fingerprint").is_ok());
+        let analyses = json.array_field("analyses").expect("analyses array");
+        assert_eq!(analyses.len(), 1);
+        let analysis = &analyses[0];
+        assert_eq!(analysis.str_field("scenario").unwrap(), scenario.label());
+        assert_eq!(analysis.str_field("period").unwrap(), "P4");
+        assert_eq!(analysis.array_field("per_vantage").unwrap().len(), VANTAGES);
+        assert_eq!(analysis.array_field("overlap").unwrap().len(), VANTAGES);
+        let rows = analysis.array_field("rows").unwrap();
+        assert_eq!(rows.len(), VANTAGES);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.u64_field("vantages").unwrap() as usize, i + 1);
+            assert!(row.field("naive").unwrap().u64_field("estimate").is_ok());
+        }
+        // The final row carries both capture–recapture estimates.
+        let last = &rows[VANTAGES - 1];
+        for estimator in ["lincoln_petersen", "chao1"] {
+            let e = last.field(estimator).unwrap();
+            assert!(e.field("estimate").is_ok(), "{estimator} has an estimate");
+            assert!(e.field("ci95_low").is_ok());
+            assert!(e.field("ci95_high").is_ok());
+        }
+    }
+}
