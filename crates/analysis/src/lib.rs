@@ -12,6 +12,7 @@
 //! | [`netsize`] | Section V — IP-address grouping, Table IV peer classification, network-size estimates |
 //! | [`robustness`] | Estimator error under adversarial churn scenarios (diurnal waves, flash crowds, PID floods, NAT churn) |
 //! | [`vantage`] | Multi-vantage horizons, pairwise overlap matrices and Lincoln–Petersen / Chao1 capture–recapture network-size estimates |
+//! | [`stream`] | Batch-identical estimates plus per-window time series from the single-pass streaming engine (`measurement::stream`) |
 //! | [`fingerprint`] | The paper's future-work idea: re-identifying peers by metadata fingerprints |
 //! | [`report`] | Text tables / CSV rendering shared by the reproduction harness |
 //!
@@ -30,6 +31,7 @@ pub mod metadata;
 pub mod netsize;
 pub mod report;
 pub mod robustness;
+pub mod stream;
 pub mod timeline;
 pub mod validation;
 pub mod vantage;
@@ -45,6 +47,12 @@ pub use metadata::{
 pub use netsize::{classify_peers, ip_grouping, network_size_estimate, ConnectionClass, IpGrouping, NetworkSizeEstimate, PeerClassification};
 pub use robustness::{
     robustness_report, scenario_robustness, EstimatorError, RobustnessReport, RobustnessRow,
+};
+pub use stream::{
+    analyze_stream, hist_summary, stream_capture_rows, stream_classify_peers,
+    stream_connection_stats, stream_direction_stats, stream_estimates, stream_ip_grouping,
+    stream_network_size, stream_report, stream_time_series, StreamAnalysis, StreamEstimates,
+    StreamReport, StreamTimeSeries,
 };
 pub use timeline::{connection_timeline, pid_growth, PidGrowth};
 pub use validation::{churn_decomposition, ChurnDecomposition};

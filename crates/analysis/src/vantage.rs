@@ -250,21 +250,21 @@ fn pid_set(dataset: &MeasurementDataset) -> Vec<PeerId> {
     dataset.peers.keys().copied().collect()
 }
 
-/// Computes the multi-vantage analysis of one campaign: per-vantage
-/// horizons, the pairwise overlap matrix and the capture–recapture
-/// accumulation curve.
-pub fn analyze_vantages(campaign: &VantageCampaign) -> VantageAnalysis {
-    let truth_pids = campaign.ground_truth.population_size();
-    let sets: Vec<Vec<PeerId>> = campaign.vantages.iter().map(pid_set).collect();
-
-    let overlap: Vec<Vec<usize>> = (0..sets.len())
-        .map(|i| {
-            (0..sets.len())
-                .map(|j| intersection_size(&sets[i], &sets[j]))
-                .collect()
-        })
-        .collect();
-
+/// Computes the capture–recapture accumulation curve over the given sorted
+/// PID sets (one per capture occasion, in occasion order): one
+/// [`VantageCountRow`] per occasion count `1..=sets.len()`.
+///
+/// This is the shared numeric core of [`analyze_vantages`] and of the
+/// streaming engine's capture–recapture path
+/// ([`crate::stream::stream_capture_rows`]): both hand it the same sorted
+/// PID sets, so their rows are byte-identical by construction.
+///
+/// # Panics
+///
+/// Debug-asserts that every set is sorted (they come from `BTreeMap` keys
+/// everywhere in this workspace).
+pub fn accumulation_rows(sets: &[Vec<PeerId>], truth_pids: usize) -> Vec<VantageCountRow> {
+    debug_assert!(sets.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
     let mut rows = Vec::with_capacity(sets.len());
     let mut frequency: BTreeMap<PeerId, usize> = BTreeMap::new();
     for v in 1..=sets.len() {
@@ -302,6 +302,25 @@ pub fn analyze_vantages(campaign: &VantageCampaign) -> VantageAnalysis {
             chao1_error: chao.map(|e| e.error_vs(truth_pids)),
         });
     }
+    rows
+}
+
+/// Computes the multi-vantage analysis of one campaign: per-vantage
+/// horizons, the pairwise overlap matrix and the capture–recapture
+/// accumulation curve.
+pub fn analyze_vantages(campaign: &VantageCampaign) -> VantageAnalysis {
+    let truth_pids = campaign.ground_truth.population_size();
+    let sets: Vec<Vec<PeerId>> = campaign.vantages.iter().map(pid_set).collect();
+
+    let overlap: Vec<Vec<usize>> = (0..sets.len())
+        .map(|i| {
+            (0..sets.len())
+                .map(|j| intersection_size(&sets[i], &sets[j]))
+                .collect()
+        })
+        .collect();
+
+    let rows = accumulation_rows(&sets, truth_pids);
 
     VantageAnalysis {
         scenario: campaign.scenario.churn.label().to_string(),

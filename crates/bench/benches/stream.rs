@@ -1,0 +1,77 @@
+//! Benchmarks of the streaming single-pass analysis engine: the teed
+//! engine+stream run, the post-hoc log replay, and the cumulative-estimate
+//! finalisation — the layers `repro stream` composes — plus the reduced
+//! long-horizon memory campaign behind `BENCH_stream.json`.
+
+use bench::stream::{run_stream_bench, smoke_config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use measurement::stream::StreamConfig;
+use measurement::{run_streaming_campaign, DurationMode, StreamingMonitor};
+use population::{MeasurementPeriod, Scenario};
+use simclock::SimDuration;
+use std::hint::black_box;
+
+const WINDOW: SimDuration = SimDuration::from_hours(6);
+
+fn bench_teed_campaign(c: &mut Criterion) {
+    c.bench_function("stream/teed_campaign_p4_0.003", |b| {
+        b.iter(|| {
+            let campaign = run_streaming_campaign(
+                Scenario::new(MeasurementPeriod::P4).with_scale(0.003).with_seed(11),
+                WINDOW,
+            );
+            black_box(campaign.primary_stream().connections)
+        })
+    });
+}
+
+fn bench_post_hoc_replay(c: &mut Criterion) {
+    let output = Scenario::new(MeasurementPeriod::P4)
+        .with_scale(0.003)
+        .with_seed(11)
+        .build()
+        .simulate();
+    let log = output.log("go-ipfs").expect("P4 deploys go-ipfs");
+    for (label, mode) in [
+        ("stream/replay_exact_p4_0.003", DurationMode::Exact),
+        ("stream/replay_bucketed_p4_0.003", DurationMode::LogBucketed),
+    ] {
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                let config =
+                    StreamConfig::for_observer("go-ipfs", log.dht_server, log.duration(), WINDOW)
+                        .with_duration_mode(mode);
+                let summary = StreamingMonitor::new(config).ingest_log(log);
+                black_box(summary.peak_state_bytes)
+            })
+        });
+    }
+}
+
+fn bench_stream_estimates(c: &mut Criterion) {
+    let campaign = run_streaming_campaign(
+        Scenario::new(MeasurementPeriod::P4).with_scale(0.003).with_seed(11),
+        WINDOW,
+    );
+    let stream = campaign.primary_stream();
+    c.bench_function("stream/cumulative_estimates_p4_0.003", |b| {
+        b.iter(|| black_box(analysis::stream_estimates(stream).netsize.by_pids))
+    });
+}
+
+fn bench_long_horizon(c: &mut Criterion) {
+    let cfg = smoke_config();
+    c.bench_function("stream/long_horizon_smoke", |b| {
+        b.iter(|| {
+            let report = run_stream_bench(&cfg);
+            black_box(report.min_exact_ratio())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_teed_campaign, bench_post_hoc_replay, bench_stream_estimates, bench_long_horizon
+}
+criterion_main!(benches);

@@ -50,9 +50,24 @@
 //! cargo run --release -p bench --bin repro -- scale --peers 20000 --shards 8
 //! ```
 //!
-//! Sweep, scenario, vantage and scale stdout is deterministic: the same configuration
+//! The `stream` subcommand runs campaigns through the streaming single-pass
+//! analysis engine (`measurement::stream` + `analysis::stream`): one
+//! simulation per churn regime, teed into both the classic batch pipeline
+//! and the incremental estimator, reporting the cumulative estimates (which
+//! are byte-identical to batch — the differential suite pins this) plus the
+//! per-window time series as JSON on stdout. With `--long-horizon` it runs
+//! the week-of-sim-time memory bench instead, writing `BENCH_stream.json`:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro -- stream --period P4 --window-hours 6
+//! cargo run --release -p bench --bin repro -- stream --vantages 3 \
+//!     --scenarios baseline,flashcrowd,pidflood --threads 8
+//! cargo run --release -p bench --bin repro -- stream --long-horizon --horizons 1,3,7
+//! ```
+//!
+//! Sweep, scenario, vantage, scale and stream stdout is deterministic: the same configuration
 //! produces byte-identical JSON regardless of `--threads` (timing numbers go
-//! to the `BENCH_scale.json` file and stderr only).
+//! to the `BENCH_*.json` files and stderr only).
 //!
 //! Absolute values scale with the `--scale` factor (the paper measured the
 //! real ~48k-peer network); the *shapes* — orderings, ratios, crossovers —
@@ -133,6 +148,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("scale") {
         run_scale_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("stream") {
+        run_stream_command(&args[1..]);
         return;
     }
     let options = parse_args();
@@ -708,6 +727,200 @@ fn run_scale_command(args: &[String]) {
     }
     // stdout carries only the deterministic fields, so two runs with
     // different --threads can be compared byte-for-byte.
+    println!("{}", report.deterministic_json().to_string_pretty());
+}
+
+// ---- the `stream` subcommand -----------------------------------------------
+
+fn stream_usage() -> ! {
+    eprintln!(
+        "usage: repro stream [--period P4] [--scale 0.005] [--seed N] \
+         [--window-hours 6] [--vantages 1] \
+         [--scenarios baseline,diurnal,flashcrowd,massexit,pidflood,natchurn] \
+         [--threads N] [--pretty] [--no-table]\n\
+         \n\
+         long-horizon memory bench:\n\
+         repro stream --long-horizon [--horizons 1,3,7] [--bench-scale 0.0025] \
+         [--window-hours 6] [--seed N] [--out BENCH_stream.json] [--no-file]"
+    );
+    std::process::exit(2);
+}
+
+fn run_stream_command(args: &[String]) {
+    if args.iter().any(|a| a == "--long-horizon") {
+        run_stream_bench_command(args);
+        return;
+    }
+    let mut period = MeasurementPeriod::P4;
+    let mut scale: f64 = 0.005;
+    let mut seed = 1975u64;
+    let mut window_hours = 6u64;
+    let mut vantages = 1usize;
+    let mut scenarios = vec![ChurnScenario::Baseline];
+    let mut threads: Option<usize> = None;
+    let mut pretty = false;
+    let mut table = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| stream_usage())
+        };
+        match args[i].as_str() {
+            "--period" => {
+                period = MeasurementPeriod::from_label(take(i)).unwrap_or_else(|| {
+                    eprintln!("unknown period {:?} (expected P0..P4 or P14d)", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--scale" => {
+                scale = take(i).parse().unwrap_or_else(|_| stream_usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = take(i).parse().unwrap_or_else(|_| stream_usage());
+                i += 2;
+            }
+            "--window-hours" => {
+                window_hours = take(i).parse().unwrap_or_else(|_| stream_usage());
+                i += 2;
+            }
+            "--vantages" => {
+                vantages = take(i).parse().unwrap_or_else(|_| stream_usage());
+                i += 2;
+            }
+            "--scenarios" => {
+                scenarios = parse_scenarios(take(i));
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(take(i).parse().unwrap_or_else(|_| stream_usage()));
+                i += 2;
+            }
+            "--pretty" => {
+                pretty = true;
+                i += 1;
+            }
+            "--no-table" => {
+                table = false;
+                i += 1;
+            }
+            _ => stream_usage(),
+        }
+    }
+    if scenarios.is_empty() || vantages == 0 || window_hours == 0 || !scale.is_finite() || scale <= 0.0 {
+        stream_usage();
+    }
+
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    let window = SimDuration::from_hours(window_hours);
+    eprintln!(
+        "# stream: {period} at scale {scale}, seed {seed}, {window_hours} h windows, \
+         {vantages} vantage(s), scenarios {}",
+        scenarios
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let started = std::time::Instant::now();
+    let campaigns = measurement::run_stream_suite(
+        period, scale, seed, vantages, window, &scenarios, threads,
+    );
+    let report = analysis::stream_report(&campaigns);
+    eprintln!("# stream finished in {:.1?}", started.elapsed());
+    if table {
+        eprintln!("\n{}", report.summary_table());
+    }
+    if pretty {
+        println!("{}", report.to_json_string_pretty());
+    } else {
+        println!("{}", report.to_json_string());
+    }
+}
+
+fn run_stream_bench_command(args: &[String]) {
+    use bench::stream::{run_stream_bench_with_progress, StreamBenchConfig};
+
+    let mut cfg = StreamBenchConfig::default();
+    let mut out_path = String::from("BENCH_stream.json");
+    let mut write_file = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| stream_usage())
+        };
+        match args[i].as_str() {
+            "--long-horizon" => {
+                i += 1;
+            }
+            "--horizons" => {
+                cfg.horizons_days = take(i)
+                    .split(',')
+                    .map(|v| v.trim().parse().unwrap_or_else(|_| stream_usage()))
+                    .collect();
+                i += 2;
+            }
+            "--bench-scale" => {
+                cfg.scale = take(i).parse().unwrap_or_else(|_| stream_usage());
+                i += 2;
+            }
+            "--window-hours" => {
+                let hours: u64 = take(i).parse().unwrap_or_else(|_| stream_usage());
+                cfg.window = SimDuration::from_hours(hours);
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = take(i).parse().unwrap_or_else(|_| stream_usage());
+                i += 2;
+            }
+            "--out" => {
+                out_path = take(i).to_string();
+                i += 2;
+            }
+            "--no-file" => {
+                write_file = false;
+                i += 1;
+            }
+            _ => stream_usage(),
+        }
+    }
+    if cfg.horizons_days.is_empty() || cfg.window.is_zero() || !cfg.scale.is_finite() || cfg.scale <= 0.0 {
+        stream_usage();
+    }
+
+    eprintln!(
+        "# stream --long-horizon: Extended at scale {}, horizons {:?} days, {} windows",
+        cfg.scale, cfg.horizons_days, cfg.window
+    );
+    let report = run_stream_bench_with_progress(&cfg, |horizon| {
+        eprintln!(
+            "[{} days] {} conns, {} pids: batch {} B vs stream exact {} B ({:.1}x) / bucketed {} B",
+            horizon.days,
+            horizon.connections,
+            horizon.pids,
+            horizon.batch_bytes,
+            horizon.exact_peak_bytes,
+            horizon.exact_ratio(),
+            horizon.bucketed_peak_bytes
+        );
+    });
+    eprintln!("# {}", report.summary());
+    if write_file {
+        let mut text = report.full_json().to_string_pretty();
+        text.push('\n');
+        if let Err(error) = std::fs::write(&out_path, text) {
+            eprintln!("failed to write {out_path}: {error}");
+            std::process::exit(1);
+        }
+        eprintln!("# full report (with timing) written to {out_path}");
+    }
+    // stdout carries only the deterministic fields, so runs at different
+    // thread counts can be compared byte-for-byte.
     println!("{}", report.deterministic_json().to_string_pretty());
 }
 

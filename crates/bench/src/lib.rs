@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod scale;
+pub mod stream;
 
 use measurement::{run_period, MeasurementCampaign};
 use population::MeasurementPeriod;

@@ -82,20 +82,50 @@ impl ActiveCrawler {
         self
     }
 
-    /// Crawls the simulated network over `[start, end]`, once every
-    /// [`Self::interval`], and returns one snapshot per crawl.
-    pub fn crawl(&self, ground_truth: &GroundTruth, start: SimTime, end: SimTime) -> Vec<CrawlSnapshot> {
+    /// Whether a single crawl discovers one concrete online server.
+    ///
+    /// Coverage-sampling audit (the regression the tests below pin): a
+    /// `coverage` of exactly 1.0 must return **every** online server,
+    /// deterministically. `SimRng::chance` already short-circuits `p >= 1.0`
+    /// to `true` without drawing — but that guarantee lived two crates away
+    /// and the crawler's two loops each re-implemented the sampling, so the
+    /// invariant was one refactor away from silently breaking (e.g. a
+    /// `unit() < p` inline, which misses `p == 1.0` only when the RNG
+    /// happens to emit its one-in-2⁵³ top value — the kind of threshold bug
+    /// that only fires in a week-long campaign). The guard is now explicit
+    /// here, both loops share it, and full coverage provably consumes no
+    /// randomness.
+    #[inline]
+    fn discovers(&self, rng: &mut SimRng) -> bool {
+        self.coverage >= 1.0 || rng.chance(self.coverage)
+    }
+
+    /// The shared crawl loop: one snapshot per interval, optionally
+    /// tracking the distinct-server union. Both public entry points draw
+    /// the same randomness stream from [`Self::seed`], so a crawl series
+    /// and its summary always agree snapshot for snapshot.
+    fn crawl_inner(
+        &self,
+        ground_truth: &GroundTruth,
+        start: SimTime,
+        end: SimTime,
+        mut distinct: Option<&mut std::collections::BTreeSet<p2pmodel::PeerId>>,
+    ) -> Vec<CrawlSnapshot> {
         let mut rng = SimRng::seed_from(self.seed);
         let mut snapshots = Vec::new();
         let mut at = start + self.interval;
         while at <= end {
             let online = ground_truth.online_at(at);
             let servers_online = online.iter().filter(|(_, server)| *server).count();
-            let servers_found = online
-                .iter()
-                .filter(|(_, server)| *server)
-                .filter(|_| rng.chance(self.coverage))
-                .count();
+            let mut servers_found = 0;
+            for (peer, is_server) in online {
+                if is_server && self.discovers(&mut rng) {
+                    servers_found += 1;
+                    if let Some(distinct) = distinct.as_deref_mut() {
+                        distinct.insert(peer);
+                    }
+                }
+            }
             snapshots.push(CrawlSnapshot {
                 at,
                 servers_found,
@@ -106,6 +136,13 @@ impl ActiveCrawler {
         snapshots
     }
 
+    /// Crawls the simulated network over `[start, end]`, once every
+    /// [`Self::interval`], and returns one snapshot per crawl (no
+    /// union-tracking overhead — the Fig. 2 hot path).
+    pub fn crawl(&self, ground_truth: &GroundTruth, start: SimTime, end: SimTime) -> Vec<CrawlSnapshot> {
+        self.crawl_inner(ground_truth, start, end, None)
+    }
+
     /// Crawls the network and also tracks how many *distinct* server PIDs
     /// were seen across all crawls (a historic union like the passive view).
     pub fn crawl_summary(
@@ -114,28 +151,8 @@ impl ActiveCrawler {
         start: SimTime,
         end: SimTime,
     ) -> (Vec<CrawlSnapshot>, CrawlSummary) {
-        use std::collections::BTreeSet;
-        let mut rng = SimRng::seed_from(self.seed);
-        let mut snapshots = Vec::new();
-        let mut distinct = BTreeSet::new();
-        let mut at = start + self.interval;
-        while at <= end {
-            let online = ground_truth.online_at(at);
-            let servers_online = online.iter().filter(|(_, server)| *server).count();
-            let mut servers_found = 0;
-            for (peer, is_server) in online {
-                if is_server && rng.chance(self.coverage) {
-                    servers_found += 1;
-                    distinct.insert(peer);
-                }
-            }
-            snapshots.push(CrawlSnapshot {
-                at,
-                servers_found,
-                servers_online,
-            });
-            at += self.interval;
-        }
+        let mut distinct = std::collections::BTreeSet::new();
+        let snapshots = self.crawl_inner(ground_truth, start, end, Some(&mut distinct));
         let summary = summarize(&snapshots, distinct.len());
         (snapshots, summary)
     }
@@ -237,6 +254,50 @@ mod tests {
         assert_eq!(summary.crawls, 0);
         assert_eq!(summary.min_servers, 0);
         assert_eq!(summary.max_servers, 0);
+    }
+
+    #[test]
+    fn full_coverage_returns_every_online_peer_in_every_crawl() {
+        // Regression for the coverage-sampling audit: at coverage exactly
+        // 1.0 no server may ever be missed, in any crawl, including peers
+        // that churn mid-series — and the distinct union must equal the
+        // whole ever-online server population.
+        let mut gt = ground_truth(200, 50);
+        gt.events.push(GroundTruthEvent::PeerOffline {
+            at: SimTime::from_hours(10),
+            peer: PeerId::derived(3),
+        });
+        let crawler = ActiveCrawler::new().with_coverage(1.0);
+        let (snapshots, summary) = crawler.crawl_summary(&gt, SimTime::ZERO, SimTime::from_hours(24));
+        assert_eq!(snapshots.len(), 3);
+        for snap in &snapshots {
+            assert_eq!(
+                snap.servers_found, snap.servers_online,
+                "full coverage missed a server at {:?}",
+                snap.at
+            );
+        }
+        assert_eq!(summary.distinct_servers, 200, "union covers every server ever online");
+        // The clamp keeps out-of-range coverage at the full-coverage path.
+        let over = ActiveCrawler::new().with_coverage(7.5);
+        assert_eq!(over.coverage, 1.0);
+        let clamped = over.crawl(&gt, SimTime::ZERO, SimTime::from_hours(8));
+        assert_eq!(clamped[0].servers_found, clamped[0].servers_online);
+    }
+
+    #[test]
+    fn crawl_and_crawl_summary_agree_snapshot_for_snapshot() {
+        // Both entry points must draw the same randomness stream, at full
+        // and at partial coverage.
+        let gt = ground_truth(500, 100);
+        for coverage in [0.3, 0.92, 1.0] {
+            let crawler = ActiveCrawler::new().with_coverage(coverage);
+            let plain = crawler.crawl(&gt, SimTime::ZERO, SimTime::from_hours(24));
+            let (with_summary, summary) =
+                crawler.crawl_summary(&gt, SimTime::ZERO, SimTime::from_hours(24));
+            assert_eq!(plain, with_summary, "coverage {coverage}");
+            assert!(summary.distinct_servers >= summary.max_servers);
+        }
     }
 
     #[test]

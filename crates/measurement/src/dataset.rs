@@ -80,6 +80,48 @@ impl MeasurementDataset {
         self.connections.iter().filter(|c| c.peer == *peer).collect()
     }
 
+    /// Approximate resident bytes of the data set: the connection and
+    /// snapshot vectors (capacity-based) plus every peer record with its
+    /// heap-owned strings, address lists and change histories.
+    ///
+    /// This is the batch side of the memory accounting in the long-horizon
+    /// streaming bench (`BENCH_stream.json`): the batch pipeline must hold
+    /// all of this before any estimator runs, and the connection vector —
+    /// the term that grows with measurement *duration* — dominates it.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let connection_bytes = self.connections.capacity() * size_of::<ConnectionRecord>();
+        let snapshot_bytes = self.snapshots.capacity() * size_of::<SnapshotRecord>();
+        let peer_bytes: usize = self
+            .peers
+            .values()
+            .map(|record| {
+                // Map-entry overhead + the record + its heap allocations.
+                size_of::<PeerId>()
+                    + size_of::<PeerRecord>()
+                    + 16
+                    + record.agent.capacity()
+                    + record
+                        .protocols
+                        .iter()
+                        .map(|p| size_of::<String>() + p.capacity())
+                        .sum::<usize>()
+                    + record.addrs.capacity() * size_of::<p2pmodel::Multiaddr>()
+                    + record
+                        .changes
+                        .iter()
+                        .map(|c| {
+                            size_of::<MetadataChangeRecord>()
+                                + c.field.capacity()
+                                + c.old.capacity()
+                                + c.new.capacity()
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        connection_bytes + snapshot_bytes + peer_bytes
+    }
+
     /// Merges another data set into this one as a **deduplicating union**
     /// (hydra heads / vantage points → union view).
     ///

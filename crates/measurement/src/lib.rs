@@ -25,6 +25,11 @@
 //!   campaign and produces per-vantage data sets plus their deduplicating
 //!   union — the input of the capture–recapture network-size estimators in
 //!   the `analysis` crate.
+//! * [`stream`] is the single-pass alternative to materialised data sets: a
+//!   [`StreamingMonitor`] consumes the engine's emissions live (teed next to
+//!   the classic pipeline) and maintains sliding/tumbling-window state in
+//!   `O(window + peers)` memory; its cumulative summary reproduces the batch
+//!   estimators byte-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +40,7 @@ pub mod monitor;
 pub(crate) mod parallel;
 pub mod record;
 pub mod runner;
+pub mod stream;
 pub mod sweep;
 pub mod vantage;
 
@@ -43,7 +49,13 @@ pub use dataset::MeasurementDataset;
 pub use monitor::{GoIpfsMonitor, HydraMonitor};
 pub use record::{ConnectionRecord, MetadataChangeRecord, PeerRecord, SnapshotRecord};
 pub use runner::{
-    run_built, run_period, run_scenario, run_scenario_suite, MeasurementCampaign,
+    campaign_from_output, run_built, run_period, run_scenario, run_scenario_suite,
+    MeasurementCampaign,
+};
+pub use stream::{
+    batch_resident_bytes, run_stream_suite, run_streaming_built, run_streaming_campaign,
+    sliding_windows, DirectionAgg, DurationMode, PaneSummary, PeerStreamAgg, StreamConfig,
+    StreamSummary, StreamingCampaign, StreamingMonitor, WindowEvent, WindowSnapshot, WindowState,
 };
 pub use sweep::{run_sweep, ObserverTweak, SweepGrid, SweepReport, SweepRunner};
 pub use vantage::{

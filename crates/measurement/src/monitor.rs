@@ -284,7 +284,11 @@ fn build_dataset(
 }
 
 /// Rounds `at` up to the next multiple of `step` after `origin`.
-fn quantise_up(at: SimTime, origin: SimTime, step: SimDuration) -> SimTime {
+///
+/// Shared with the streaming engine (`crate::stream`), which must reproduce
+/// the polling clients' close-time quantisation bit-for-bit to stay
+/// byte-identical with the batch pipeline.
+pub(crate) fn quantise_up(at: SimTime, origin: SimTime, step: SimDuration) -> SimTime {
     let elapsed = (at - origin).as_millis();
     let step_ms = step.as_millis().max(1);
     let ticks = elapsed.div_ceil(step_ms);

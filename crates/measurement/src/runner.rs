@@ -83,7 +83,22 @@ pub fn run_built(run: population::ScenarioRun) -> MeasurementCampaign {
     let output = netsim::Network::new(run.config, run.population.specs)
         .with_population_events(run.events)
         .run();
+    campaign_from_output(scenario, ground_truth_participants, duration, output)
+}
 
+/// Assembles a [`MeasurementCampaign`] from a finished simulation output:
+/// monitor ingestion, hydra union, active-crawler baseline.
+///
+/// [`run_built`] is `simulate + campaign_from_output`; the streaming runner
+/// ([`crate::stream::run_streaming_built`]) reuses this half after producing
+/// the output through a sink tee, so both pipelines share one ingestion
+/// path — a precondition of the byte-identical differential contract.
+pub fn campaign_from_output(
+    scenario: Scenario,
+    ground_truth_participants: usize,
+    duration: simclock::SimDuration,
+    output: netsim::SimulationOutput,
+) -> MeasurementCampaign {
     let go_ipfs_log: Option<&ObserverLog> = output.log("go-ipfs");
     let hydra_logs: Vec<&ObserverLog> = output
         .logs

@@ -1,0 +1,1380 @@
+//! The streaming single-pass measurement engine.
+//!
+//! Every estimator in the `analysis` crate consumes a fully materialised
+//! [`MeasurementDataset`](crate::MeasurementDataset) — memory grows with the
+//! number of *connections*, which the paper shows dwarfs the number of
+//! *peers* by orders of magnitude. Week-scale measurement horizons therefore
+//! drown the batch pipeline in connection records it only ever folds once.
+//!
+//! This module is the incremental alternative: a [`StreamingMonitor`] is an
+//! [`ObservationSink`] that consumes the engine's emissions **as they
+//! happen** (teed next to the classic columnar table via
+//! [`netsim::TeeSink`], or replayed from a finished log with
+//! [`StreamingMonitor::ingest_log`]) and maintains
+//!
+//! * per-peer aggregates (connection count, duration sum/max, first
+//!   connected IP, DHT-role history) — `O(peers)`,
+//! * a run-length duration multiset per direction — the exact information
+//!   the Table II means/medians need, at 8 bytes per connection instead of
+//!   a ~100-byte [`ConnectionRecord`](crate::ConnectionRecord), or `O(1)`
+//!   when log-bucketed ([`DurationMode::LogBucketed`]),
+//! * tumbling-window panes of mergeable [`WindowState`] partial aggregates
+//!   — `O(window)`; sliding windows are merges of adjacent panes
+//!   ([`sliding_windows`]), and the merge is associative **and**
+//!   commutative, so panes computed anywhere (threads, shards, vantages)
+//!   combine into the same state (pinned by `tests/stream_properties.rs`).
+//!
+//! The cumulative result ([`StreamSummary`], finalised by
+//! [`StreamingMonitor::finish`]) carries exactly what
+//! `analysis::stream` needs to reproduce the batch
+//! `connection_stats` / `direction_stats` / `ip_grouping` /
+//! `classify_peers` / `network_size_estimate` outputs **byte-identically**
+//! (`tests/stream_differential.rs`), including the go-ipfs monitor's 30 s
+//! close-time quantisation and the end-of-measurement close of still-open
+//! connections.
+
+use crate::monitor::{quantise_up, GoIpfsMonitor, HydraMonitor};
+use crate::parallel::run_parallel_ordered;
+use crate::runner::{campaign_from_output, MeasurementCampaign};
+use netsim::obs::close_reason_from_payload;
+use netsim::{
+    IdentifyRegistry, ObservationKind, ObservationSink, ObservationTable, ObserverLog, SinkRun,
+    TeeSink,
+};
+use p2pmodel::{CloseReason, ConnectionId, Direction, IpAddress, PeerId};
+use population::{ChurnScenario, MeasurementPeriod, Scenario, ScenarioRun};
+use simclock::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// One event folded into a [`WindowState`], keyed by registry peer slot.
+///
+/// The slot keeps the type registry-independent and 12 bytes small; the
+/// cumulative engine resolves slots to [`PeerId`]s only once, at
+/// [`StreamingMonitor::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowEvent {
+    /// A connection to the peer in `slot` was opened.
+    Opened {
+        /// Registry slot of the remote peer.
+        slot: u32,
+    },
+    /// A connection record completed, with its recorded duration.
+    Closed {
+        /// Registry slot of the remote peer.
+        slot: u32,
+        /// Recorded duration in milliseconds (close-quantisation applied).
+        dur_ms: u64,
+    },
+    /// An identify payload arrived from the peer in `slot`.
+    Identify {
+        /// Registry slot of the remote peer.
+        slot: u32,
+    },
+    /// The peer in `slot` was discovered through routing gossip.
+    Discovered {
+        /// Registry slot of the remote peer.
+        slot: u32,
+    },
+}
+
+impl WindowEvent {
+    /// The registry slot the event concerns.
+    pub fn slot(&self) -> u32 {
+        match self {
+            WindowEvent::Opened { slot }
+            | WindowEvent::Closed { slot, .. }
+            | WindowEvent::Identify { slot }
+            | WindowEvent::Discovered { slot } => *slot,
+        }
+    }
+}
+
+/// The mergeable partial aggregate of one window pane.
+///
+/// `WindowState` forms a commutative monoid under [`WindowState::merge`]
+/// with [`WindowState::new`] as the identity, and every
+/// [`WindowState::apply`] has an exact inverse [`WindowState::retract`] —
+/// the algebra that makes panes combinable into sliding windows and
+/// evictable without replay. All three laws are fuzzed in
+/// `tests/stream_properties.rs`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowState {
+    /// Connections opened in the window.
+    pub opened: u64,
+    /// Connection records completed in the window.
+    pub closed: u64,
+    /// Identify payloads received in the window.
+    pub identifies: u64,
+    /// Gossip discoveries in the window.
+    pub discoveries: u64,
+    /// Sum of recorded durations (ms) of the window's completed records.
+    pub dur_ms_sum: u128,
+    /// Run-length duration multiset of the window's completed records.
+    pub dur_hist: BTreeMap<u64, u64>,
+    /// Events per peer slot (a multiset, so eviction is exact).
+    pub peer_events: BTreeMap<u32, u64>,
+}
+
+impl WindowState {
+    /// The empty window (the monoid identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total events folded into the window.
+    pub fn event_count(&self) -> u64 {
+        self.opened + self.closed + self.identifies + self.discoveries
+    }
+
+    /// Number of distinct peers active in the window.
+    pub fn active_peers(&self) -> usize {
+        self.peer_events.len()
+    }
+
+    /// Whether the window holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.event_count() == 0
+    }
+
+    /// Mean recorded duration (seconds) of the window's completed records
+    /// (`0` for a window without completed records).
+    pub fn mean_duration_secs(&self) -> f64 {
+        if self.closed == 0 {
+            0.0
+        } else {
+            self.dur_ms_sum as f64 / self.closed as f64 / 1000.0
+        }
+    }
+
+    /// Folds one event into the window.
+    pub fn apply(&mut self, event: WindowEvent) {
+        match event {
+            WindowEvent::Opened { .. } => self.opened += 1,
+            WindowEvent::Closed { dur_ms, .. } => {
+                self.closed += 1;
+                self.dur_ms_sum += dur_ms as u128;
+                *self.dur_hist.entry(dur_ms).or_insert(0) += 1;
+            }
+            WindowEvent::Identify { .. } => self.identifies += 1,
+            WindowEvent::Discovered { .. } => self.discoveries += 1,
+        }
+        *self.peer_events.entry(event.slot()).or_insert(0) += 1;
+    }
+
+    /// Removes one previously [`apply`](Self::apply)ed event — the exact
+    /// inverse, so `apply(e); retract(e)` is a no-op. Retracting an event
+    /// that was never applied saturates at empty instead of underflowing.
+    pub fn retract(&mut self, event: WindowEvent) {
+        match event {
+            WindowEvent::Opened { .. } => self.opened = self.opened.saturating_sub(1),
+            WindowEvent::Closed { dur_ms, .. } => {
+                self.closed = self.closed.saturating_sub(1);
+                self.dur_ms_sum = self.dur_ms_sum.saturating_sub(dur_ms as u128);
+                if let Some(count) = self.dur_hist.get_mut(&dur_ms) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.dur_hist.remove(&dur_ms);
+                    }
+                }
+            }
+            WindowEvent::Identify { .. } => self.identifies = self.identifies.saturating_sub(1),
+            WindowEvent::Discovered { .. } => {
+                self.discoveries = self.discoveries.saturating_sub(1)
+            }
+        }
+        if let Some(count) = self.peer_events.get_mut(&event.slot()) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.peer_events.remove(&event.slot());
+            }
+        }
+    }
+
+    /// Merges another partial state into this one (commutative and
+    /// associative; the identity is [`WindowState::new`]).
+    pub fn merge(&mut self, other: &WindowState) {
+        self.opened += other.opened;
+        self.closed += other.closed;
+        self.identifies += other.identifies;
+        self.discoveries += other.discoveries;
+        self.dur_ms_sum += other.dur_ms_sum;
+        for (&dur, &count) in &other.dur_hist {
+            *self.dur_hist.entry(dur).or_insert(0) += count;
+        }
+        for (&slot, &count) in &other.peer_events {
+            *self.peer_events.entry(slot).or_insert(0) += count;
+        }
+    }
+
+    /// Approximate resident bytes of the state (honest self-accounting for
+    /// the memory bench; deterministic, content-based).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.dur_hist.len() * (size_of::<u64>() * 2 + 16)
+            + self.peer_events.len() * (size_of::<u32>() + size_of::<u64>() + 16)
+    }
+}
+
+/// One finalised window pane in compact form: the counters of its partial
+/// aggregate plus the cumulative gauges sampled when the pane closed.
+///
+/// The engine always keeps the **complete** compact series (~130 bytes per
+/// pane — the time-series product itself), while the full mergeable
+/// [`WindowState`]s are retained only for the most recent
+/// [`StreamConfig::retained_panes`] panes: that bound is what keeps the
+/// engine's memory `O(window)` instead of `O(campaign)` on week-scale
+/// horizons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaneSummary {
+    /// Zero-based pane index.
+    pub index: u64,
+    /// Inclusive pane start.
+    pub start: SimTime,
+    /// Exclusive pane end (the final pane ends at the measurement end).
+    pub end: SimTime,
+    /// Connections opened in the pane.
+    pub opened: u64,
+    /// Connection records completed in the pane.
+    pub closed: u64,
+    /// Identify payloads received in the pane.
+    pub identifies: u64,
+    /// Gossip discoveries in the pane.
+    pub discoveries: u64,
+    /// Sum of recorded durations (ms) of the pane's completed records.
+    pub dur_ms_sum: u128,
+    /// Distinct peers active in the pane.
+    pub active_peers: usize,
+    /// Open connections when the pane closed.
+    pub open_connections: usize,
+    /// Distinct PIDs ever seen when the pane closed (historic view).
+    pub known_pids: usize,
+    /// Distinct PIDs connected when the pane closed.
+    pub connected_pids: usize,
+}
+
+impl PaneSummary {
+    /// Mean recorded duration (seconds) of the pane's completed records.
+    pub fn mean_duration_secs(&self) -> f64 {
+        if self.closed == 0 {
+            0.0
+        } else {
+            self.dur_ms_sum as f64 / self.closed as f64 / 1000.0
+        }
+    }
+}
+
+/// One finalised window pane with its full mergeable aggregate — the form
+/// sliding-window merges consume. Only the most recent
+/// [`StreamConfig::retained_panes`] panes are kept in this form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Zero-based pane index.
+    pub index: u64,
+    /// Inclusive pane start.
+    pub start: SimTime,
+    /// Exclusive pane end (the final pane ends at the measurement end).
+    pub end: SimTime,
+    /// The pane's mergeable partial aggregate.
+    pub state: WindowState,
+    /// Open connections when the pane closed.
+    pub open_connections: usize,
+    /// Distinct PIDs ever seen when the pane closed (historic view).
+    pub known_pids: usize,
+    /// Distinct PIDs connected when the pane closed.
+    pub connected_pids: usize,
+}
+
+impl WindowSnapshot {
+    /// The pane's compact form.
+    pub fn summary(&self) -> PaneSummary {
+        PaneSummary {
+            index: self.index,
+            start: self.start,
+            end: self.end,
+            opened: self.state.opened,
+            closed: self.state.closed,
+            identifies: self.state.identifies,
+            discoveries: self.state.discoveries,
+            dur_ms_sum: self.state.dur_ms_sum,
+            active_peers: self.state.active_peers(),
+            open_connections: self.open_connections,
+            known_pids: self.known_pids,
+            connected_pids: self.connected_pids,
+        }
+    }
+}
+
+/// Sliding windows of `panes` consecutive panes: element `i` is the merge of
+/// panes `i - panes + 1 ..= i` (fewer at the start of the series). One merge
+/// per step, no event replay — the pay-off of the [`WindowState`] algebra.
+pub fn sliding_windows(snapshots: &[WindowSnapshot], panes: usize) -> Vec<WindowState> {
+    let panes = panes.max(1);
+    snapshots
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let lo = (i + 1).saturating_sub(panes);
+            let mut merged = WindowState::new();
+            for snapshot in &snapshots[lo..=i] {
+                merged.merge(&snapshot.state);
+            }
+            merged
+        })
+        .collect()
+}
+
+/// How the cumulative engine stores the connection-duration multiset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurationMode {
+    /// Every recorded duration kept exactly (8 bytes each) — required for
+    /// byte-identical equality with the batch estimators.
+    Exact,
+    /// Durations folded into ~5 %-wide geometric buckets: `O(1)` memory at
+    /// any horizon, means/medians approximate to the bucket width. The
+    /// long-horizon bench runs this mode to show truly flat memory.
+    LogBucketed,
+}
+
+/// Geometric bucket edges for [`DurationMode::LogBucketed`]: 0, 1, then
+/// ×21/20 (integer arithmetic, so identical on every platform).
+fn log_bucket_edges() -> Vec<u64> {
+    let mut edges = vec![0u64, 1];
+    loop {
+        let last = *edges.last().expect("seeded");
+        let Some(next) = last.checked_mul(21).map(|v| v / 20) else {
+            break;
+        };
+        let next = next.max(last + 1);
+        edges.push(next);
+        if next > 100 * 365 * 86_400_000 {
+            break; // a century of milliseconds is horizon enough
+        }
+    }
+    edges
+}
+
+/// The cumulative duration multiset, exact or log-bucketed.
+#[derive(Debug, Clone, PartialEq)]
+enum DurationStore {
+    Exact(Vec<u64>),
+    LogBucketed {
+        edges: Arc<Vec<u64>>,
+        counts: BTreeMap<u32, u64>,
+    },
+}
+
+impl DurationStore {
+    fn new(mode: DurationMode) -> Self {
+        match mode {
+            DurationMode::Exact => DurationStore::Exact(Vec::new()),
+            DurationMode::LogBucketed => DurationStore::LogBucketed {
+                edges: Arc::new(log_bucket_edges()),
+                counts: BTreeMap::new(),
+            },
+        }
+    }
+
+    fn push(&mut self, dur_ms: u64) {
+        match self {
+            DurationStore::Exact(values) => values.push(dur_ms),
+            DurationStore::LogBucketed { edges, counts } => {
+                let bucket = edges.partition_point(|&e| e <= dur_ms).saturating_sub(1);
+                *counts.entry(bucket as u32).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// The multiset as an ascending run-length histogram. Exact stores sort
+    /// once here (the only superlinear step, at finish time); bucketed
+    /// stores report each bucket's lower edge.
+    fn into_hist(self) -> Vec<(u64, u64)> {
+        match self {
+            DurationStore::Exact(mut values) => {
+                values.sort_unstable();
+                let mut hist: Vec<(u64, u64)> = Vec::new();
+                for value in values {
+                    match hist.last_mut() {
+                        Some((last, count)) if *last == value => *count += 1,
+                        _ => hist.push((value, 1)),
+                    }
+                }
+                hist
+            }
+            DurationStore::LogBucketed { edges, counts } => counts
+                .into_iter()
+                .map(|(bucket, count)| (edges[bucket as usize], count))
+                .collect(),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        match self {
+            DurationStore::Exact(values) => values.capacity() * size_of::<u64>(),
+            DurationStore::LogBucketed { counts, .. } => {
+                counts.len() * (size_of::<u32>() + size_of::<u64>() + 16)
+            }
+        }
+    }
+}
+
+/// Cumulative per-direction aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectionAgg {
+    /// Completed connection records in this direction.
+    pub count: u64,
+    /// Ascending run-length histogram of their recorded durations (ms).
+    pub dur_hist: Vec<(u64, u64)>,
+}
+
+/// Cumulative per-peer aggregate — everything the §V estimators need about
+/// one PID, in ~64 bytes instead of its full record + connection list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerStreamAgg {
+    /// Completed connection records of this peer.
+    pub connections: u64,
+    /// Sum of recorded durations in seconds, accumulated in record order —
+    /// the same f64 addition order as the batch per-peer fold, which is what
+    /// keeps the Table II "Peer" statistics byte-identical.
+    pub duration_sum_secs: f64,
+    /// Longest recorded duration.
+    pub max_duration: SimDuration,
+    /// IP address of the peer's first observed connection, if any.
+    pub first_ip: Option<IpAddress>,
+    /// Whether the peer ever announced the DHT-Server role.
+    pub ever_dht_server: bool,
+}
+
+/// The finalised cumulative result of one streaming pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// Observer name (`"go-ipfs"`, `"hydra-h0"`, `"vantage-v1"`, …).
+    pub observer: String,
+    /// Whether the observer ran as a DHT-Server.
+    pub dht_server: bool,
+    /// Start of the measurement.
+    pub started_at: SimTime,
+    /// End of the measurement.
+    pub ended_at: SimTime,
+    /// Width of the tumbling window panes.
+    pub window: SimDuration,
+    /// Duration-store mode of the pass.
+    pub duration_mode: DurationMode,
+    /// Total events ingested.
+    pub events: u64,
+    /// Distinct PIDs ever observed (the historic view's `pid_count`).
+    pub pids: usize,
+    /// Completed connection records (including end-of-measurement closes).
+    pub connections: u64,
+    /// Inbound aggregate.
+    pub inbound: DirectionAgg,
+    /// Outbound aggregate.
+    pub outbound: DirectionAgg,
+    /// Closes that carried a ground-truth reason (event closes).
+    pub closes_with_reason: u64,
+    /// Closes whose reason was local or remote trimming.
+    pub trimmed_closes: u64,
+    /// Per-peer aggregates, keyed by PID.
+    pub per_peer: BTreeMap<PeerId, PeerStreamAgg>,
+    /// Distinct IP addresses across all connections.
+    pub distinct_connection_ips: usize,
+    /// Maximum simultaneously open connections at any snapshot tick.
+    pub max_open_connections: usize,
+    /// The complete compact pane series, in time order.
+    pub panes: Vec<PaneSummary>,
+    /// The most recent [`StreamConfig::retained_panes`] panes with their
+    /// full mergeable states, in time order.
+    pub recent_windows: Vec<WindowSnapshot>,
+    /// High-water mark of the engine's resident state bytes over the run
+    /// (honest self-accounting; the memory the batch pipeline holds instead
+    /// is the full data set — see
+    /// [`crate::MeasurementDataset::approx_bytes`]).
+    pub peak_state_bytes: usize,
+}
+
+impl StreamSummary {
+    /// Distinct PIDs with at least one completed connection record.
+    pub fn connected_pids(&self) -> usize {
+        self.per_peer.values().filter(|p| p.connections > 0).count()
+    }
+
+    /// The combined (inbound + outbound) ascending duration histogram.
+    pub fn combined_dur_hist(&self) -> Vec<(u64, u64)> {
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(
+            self.inbound.dur_hist.len() + self.outbound.dur_hist.len(),
+        );
+        let (mut i, mut j) = (0, 0);
+        while i < self.inbound.dur_hist.len() || j < self.outbound.dur_hist.len() {
+            let next = match (self.inbound.dur_hist.get(i), self.outbound.dur_hist.get(j)) {
+                (Some(&(a, ca)), Some(&(b, cb))) => {
+                    if a < b {
+                        i += 1;
+                        (a, ca)
+                    } else if b < a {
+                        j += 1;
+                        (b, cb)
+                    } else {
+                        i += 1;
+                        j += 1;
+                        (a, ca + cb)
+                    }
+                }
+                (Some(&(a, ca)), None) => {
+                    i += 1;
+                    (a, ca)
+                }
+                (None, Some(&(b, cb))) => {
+                    j += 1;
+                    (b, cb)
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            merged.push(next);
+        }
+        merged
+    }
+}
+
+/// Static configuration of one streaming pass, mirroring the corresponding
+/// batch monitor's observation model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Observer name the summary reports under.
+    pub observer: String,
+    /// Whether the observer runs as a DHT-Server.
+    pub dht_server: bool,
+    /// Start of the measurement.
+    pub started_at: SimTime,
+    /// End of the measurement (must be known up front: still-open
+    /// connections are recorded as closed at this instant, exactly like the
+    /// batch monitors do).
+    pub ended_at: SimTime,
+    /// Close-time quantisation (`Some(30 s)` for the polling go-ipfs client,
+    /// `None` for hydra's exact event logging).
+    pub close_quantisation: Option<SimDuration>,
+    /// Cadence of the load-gauge ticks (30 s go-ipfs, 1 min hydra).
+    pub snapshot_interval: SimDuration,
+    /// Width of the tumbling window panes.
+    pub window: SimDuration,
+    /// Duration-store mode.
+    pub duration_mode: DurationMode,
+    /// How many of the most recent panes keep their full mergeable
+    /// [`WindowState`] (for sliding-window merges). The complete compact
+    /// [`PaneSummary`] series is always kept; bounding the full states is
+    /// what makes long-horizon memory `O(window)`. Defaults to
+    /// `usize::MAX` (retain everything) — the differential, property and
+    /// golden suites read the full series.
+    pub retained_panes: usize,
+}
+
+impl StreamConfig {
+    /// The go-ipfs observation model (§III-A): 30 s refresh, close times
+    /// rounded up to the next tick.
+    pub fn go_ipfs(
+        observer: impl Into<String>,
+        dht_server: bool,
+        started_at: SimTime,
+        ended_at: SimTime,
+        window: SimDuration,
+    ) -> Self {
+        let monitor = GoIpfsMonitor::new();
+        StreamConfig {
+            observer: observer.into(),
+            dht_server,
+            started_at,
+            ended_at,
+            close_quantisation: Some(monitor.snapshot_interval),
+            snapshot_interval: monitor.snapshot_interval,
+            window,
+            duration_mode: DurationMode::Exact,
+            retained_panes: usize::MAX,
+        }
+    }
+
+    /// The hydra observation model (§III-B): exact close times, 1 min peer
+    /// refresh.
+    pub fn hydra(
+        observer: impl Into<String>,
+        started_at: SimTime,
+        ended_at: SimTime,
+        window: SimDuration,
+    ) -> Self {
+        let monitor = HydraMonitor::new();
+        StreamConfig {
+            observer: observer.into(),
+            dht_server: true,
+            started_at,
+            ended_at,
+            close_quantisation: None,
+            snapshot_interval: monitor.update_interval,
+            window,
+            duration_mode: DurationMode::Exact,
+            retained_panes: usize::MAX,
+        }
+    }
+
+    /// Returns a copy with the given duration-store mode.
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
+    pub fn with_duration_mode(mut self, mode: DurationMode) -> Self {
+        self.duration_mode = mode;
+        self
+    }
+
+    /// Returns a copy retaining only the `panes` most recent full window
+    /// states (the compact pane series always stays complete).
+    #[must_use = "with_* builders return a new value instead of mutating in place"]
+    pub fn with_retained_panes(mut self, panes: usize) -> Self {
+        self.retained_panes = panes;
+        self
+    }
+
+    /// The stream configuration matching one observer of a built scenario:
+    /// hydra heads use the hydra model, everything else (the go-ipfs primary
+    /// and its `vantage-v*` clones) the go-ipfs model.
+    pub fn for_observer(
+        name: &str,
+        dht_server: bool,
+        duration: SimDuration,
+        window: SimDuration,
+    ) -> Self {
+        if name.starts_with("hydra-h") {
+            StreamConfig::hydra(name, SimTime::ZERO, SimTime::ZERO + duration, window)
+        } else {
+            StreamConfig::go_ipfs(name, dht_server, SimTime::ZERO, SimTime::ZERO + duration, window)
+        }
+    }
+}
+
+/// Per-slot cumulative state (id-level; resolved to [`PeerStreamAgg`] at
+/// finish).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct SlotAgg {
+    connections: u64,
+    duration_sum_secs: f64,
+    max_duration_ms: u64,
+    first_addr_id: Option<u32>,
+    identify_ids: Vec<u32>,
+}
+
+/// One open connection awaiting its close.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OpenConn {
+    slot: u32,
+    direction: Direction,
+    opened_at: SimTime,
+}
+
+/// The incremental single-pass estimator engine.
+///
+/// Feed it observations through the [`ObservationSink`] trait (live, teed
+/// next to the classic table) or replay a finished log with
+/// [`Self::ingest_log`]; then call [`Self::finish`] with the run's registry
+/// to obtain the [`StreamSummary`]. Events must arrive in chronological
+/// order — exactly what the engine emits and what a time-sorted
+/// [`ObservationTable`] replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingMonitor {
+    config: StreamConfig,
+    slots: HashMap<u32, SlotAgg>,
+    open: HashMap<u64, OpenConn>,
+    conn_addr_ids: HashSet<u32>,
+    inbound_count: u64,
+    outbound_count: u64,
+    inbound_durs: DurationStore,
+    outbound_durs: DurationStore,
+    closes_with_reason: u64,
+    trimmed_closes: u64,
+    events: u64,
+    // Load-gauge machinery (mirrors the batch monitors' snapshot loop).
+    next_snapshot: SimTime,
+    open_count: usize,
+    connected: HashMap<u32, u32>,
+    max_open: usize,
+    // Window machinery.
+    pane_start: SimTime,
+    pane_index: u64,
+    pane: WindowState,
+    panes: Vec<PaneSummary>,
+    recent_windows: std::collections::VecDeque<WindowSnapshot>,
+    peak_state_bytes: usize,
+}
+
+impl StreamingMonitor {
+    /// Creates a monitor for one observer.
+    pub fn new(config: StreamConfig) -> Self {
+        let next_snapshot = config.started_at + config.snapshot_interval;
+        let pane_start = config.started_at;
+        let duration_mode = config.duration_mode;
+        StreamingMonitor {
+            config,
+            slots: HashMap::new(),
+            open: HashMap::new(),
+            conn_addr_ids: HashSet::new(),
+            inbound_count: 0,
+            outbound_count: 0,
+            inbound_durs: DurationStore::new(duration_mode),
+            outbound_durs: DurationStore::new(duration_mode),
+            closes_with_reason: 0,
+            trimmed_closes: 0,
+            events: 0,
+            next_snapshot,
+            open_count: 0,
+            connected: HashMap::new(),
+            max_open: 0,
+            pane_start,
+            pane_index: 0,
+            pane: WindowState::new(),
+            panes: Vec::new(),
+            recent_windows: std::collections::VecDeque::new(),
+            peak_state_bytes: 0,
+        }
+    }
+
+    /// Approximate resident bytes of the engine state right now
+    /// (deterministic, content-based — the quantity whose high-water mark
+    /// [`StreamSummary::peak_state_bytes`] reports).
+    pub fn approx_state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let map_entry = |key: usize, value: usize| key + value + 16;
+        self.slots.len() * map_entry(size_of::<u32>(), size_of::<SlotAgg>())
+            + self
+                .slots
+                .values()
+                .map(|s| s.identify_ids.capacity() * size_of::<u32>())
+                .sum::<usize>()
+            + self.open.len() * map_entry(size_of::<u64>(), size_of::<OpenConn>())
+            + self.conn_addr_ids.len() * map_entry(size_of::<u32>(), 0)
+            + self.inbound_durs.approx_bytes()
+            + self.outbound_durs.approx_bytes()
+            + self.connected.len() * map_entry(size_of::<u32>(), size_of::<u32>())
+            + self.pane.approx_bytes()
+            + self.panes.capacity() * size_of::<PaneSummary>()
+            + self
+                .recent_windows
+                .iter()
+                .map(|w| size_of::<WindowSnapshot>() + w.state.approx_bytes())
+                .sum::<usize>()
+    }
+
+    fn note_peak(&mut self) {
+        let bytes = self.approx_state_bytes();
+        if bytes > self.peak_state_bytes {
+            self.peak_state_bytes = bytes;
+        }
+    }
+
+    /// Advances the load-gauge ticks up to `at` (inclusive), mirroring the
+    /// batch monitors' snapshot flush: gauges are sampled *before* the event
+    /// at `at` is applied.
+    fn flush_snapshots(&mut self, at: SimTime) {
+        while self.next_snapshot <= at {
+            if self.open_count > self.max_open {
+                self.max_open = self.open_count;
+            }
+            self.next_snapshot += self.config.snapshot_interval;
+        }
+    }
+
+    /// Closes every pane that ends at or before `at`. The gauges of a
+    /// closing pane are sampled at flush time — before the event at `at` is
+    /// applied, like snapshot ticks.
+    fn flush_panes(&mut self, at: SimTime) {
+        let width = self.config.window;
+        if width.is_zero() {
+            return;
+        }
+        while self.pane_start + width <= at {
+            let end = self.pane_start + width;
+            self.finalize_pane(end);
+            self.pane_start = end;
+        }
+    }
+
+    fn finalize_pane(&mut self, end: SimTime) {
+        let state = std::mem::take(&mut self.pane);
+        let snapshot = WindowSnapshot {
+            index: self.pane_index,
+            start: self.pane_start,
+            end,
+            state,
+            open_connections: self.open_count,
+            known_pids: self.slots.len(),
+            connected_pids: self.connected.len(),
+        };
+        self.panes.push(snapshot.summary());
+        self.recent_windows.push_back(snapshot);
+        while self.recent_windows.len() > self.config.retained_panes.max(1) {
+            self.recent_windows.pop_front();
+        }
+        self.pane_index += 1;
+        self.note_peak();
+    }
+
+    fn before_event(&mut self, at: SimTime) {
+        self.flush_snapshots(at);
+        self.flush_panes(at);
+        self.events += 1;
+    }
+
+    /// Completes one connection record: updates the per-slot aggregate, the
+    /// direction aggregates and the current pane. `recorded_dur` is the
+    /// quantised duration the batch dataset would carry.
+    fn complete_record(&mut self, slot: u32, direction: Direction, recorded_dur: SimDuration) {
+        let agg = self.slots.entry(slot).or_default();
+        agg.connections += 1;
+        agg.duration_sum_secs += recorded_dur.as_secs_f64();
+        if recorded_dur.as_millis() > agg.max_duration_ms {
+            agg.max_duration_ms = recorded_dur.as_millis();
+        }
+        match direction {
+            Direction::Inbound => {
+                self.inbound_count += 1;
+                self.inbound_durs.push(recorded_dur.as_millis());
+            }
+            Direction::Outbound => {
+                self.outbound_count += 1;
+                self.outbound_durs.push(recorded_dur.as_millis());
+            }
+        }
+        self.pane.apply(WindowEvent::Closed {
+            slot,
+            dur_ms: recorded_dur.as_millis(),
+        });
+    }
+
+    /// The recorded close time for an observed close at `at` (quantisation
+    /// and end-of-measurement cap applied, as in the batch monitors).
+    fn recorded_close(&self, at: SimTime) -> SimTime {
+        match self.config.close_quantisation {
+            Some(step) if !step.is_zero() => {
+                quantise_up(at, self.config.started_at, step).min(self.config.ended_at)
+            }
+            _ => at,
+        }
+    }
+
+    /// Replays a finished observer log through the engine and finalises the
+    /// summary — the post-hoc path, byte-identical to having run live as a
+    /// teed sink (pinned by the differential suite).
+    pub fn ingest_log(mut self, log: &ObserverLog) -> StreamSummary {
+        let table = log.table();
+        for i in 0..table.len() {
+            let at = table.at(i);
+            let slot = table.peer_slot_at(i);
+            match table.kind_at(i) {
+                kind @ (ObservationKind::OpenedInbound | ObservationKind::OpenedOutbound) => {
+                    let conn = table.conn_at(i).expect("open rows carry a connection id");
+                    let direction = kind.direction().expect("open rows have a direction");
+                    self.connection_opened(at, conn, slot, direction, table.payload_at(i));
+                }
+                ObservationKind::Closed => {
+                    let conn = table.conn_at(i).expect("close rows carry a connection id");
+                    self.connection_closed(
+                        at,
+                        conn,
+                        slot,
+                        close_reason_from_payload(table.payload_at(i)),
+                    );
+                }
+                ObservationKind::Identify => {
+                    self.identify_received(at, slot, table.payload_at(i));
+                }
+                ObservationKind::Discovered => {
+                    self.peer_discovered(at, slot, table.payload_at(i));
+                }
+            }
+        }
+        self.finish(log.registry())
+    }
+
+    /// Finalises the pass: closes still-open connections at the measurement
+    /// end (in connection-id order, like the batch monitors), flushes the
+    /// remaining ticks and panes, and resolves every id through `registry`.
+    pub fn finish(mut self, registry: &IdentifyRegistry) -> StreamSummary {
+        let ended_at = self.config.ended_at;
+        self.flush_snapshots(ended_at);
+        self.flush_panes(ended_at);
+        // Sample the final pane's gauges before the end-closes drain the
+        // open table (the last batch snapshot precedes them too), but fold
+        // the end-close records into the final pane's aggregate.
+        let final_gauges = (self.open_count, self.connected.len());
+        let mut remaining: Vec<(u64, OpenConn)> = self.open.drain().collect();
+        remaining.sort_by_key(|&(conn, _)| conn);
+        for (_, open) in remaining {
+            let duration = ended_at.saturating_since(open.opened_at);
+            self.complete_record(open.slot, open.direction, duration);
+        }
+        let state = std::mem::take(&mut self.pane);
+        let snapshot = WindowSnapshot {
+            index: self.pane_index,
+            start: self.pane_start,
+            end: ended_at,
+            state,
+            open_connections: final_gauges.0,
+            known_pids: self.slots.len(),
+            connected_pids: final_gauges.1,
+        };
+        self.panes.push(snapshot.summary());
+        self.recent_windows.push_back(snapshot);
+        while self.recent_windows.len() > self.config.retained_panes.max(1) {
+            self.recent_windows.pop_front();
+        }
+        self.note_peak();
+
+        let mut distinct_ips: BTreeSet<IpAddress> = BTreeSet::new();
+        for &addr_id in &self.conn_addr_ids {
+            distinct_ips.insert(registry.addr(addr_id).ip());
+        }
+        let mut per_peer: BTreeMap<PeerId, PeerStreamAgg> = BTreeMap::new();
+        for (&slot, agg) in &self.slots {
+            per_peer.insert(
+                registry.peer(slot),
+                PeerStreamAgg {
+                    connections: agg.connections,
+                    duration_sum_secs: agg.duration_sum_secs,
+                    max_duration: SimDuration::from_millis(agg.max_duration_ms),
+                    first_ip: agg.first_addr_id.map(|id| registry.addr(id).ip()),
+                    ever_dht_server: agg
+                        .identify_ids
+                        .iter()
+                        .any(|&id| registry.identify(id).is_dht_server()),
+                },
+            );
+        }
+        StreamSummary {
+            observer: self.config.observer,
+            dht_server: self.config.dht_server,
+            started_at: self.config.started_at,
+            ended_at,
+            window: self.config.window,
+            duration_mode: self.config.duration_mode,
+            events: self.events,
+            pids: per_peer.len(),
+            connections: self.inbound_count + self.outbound_count,
+            inbound: DirectionAgg {
+                count: self.inbound_count,
+                dur_hist: self.inbound_durs.into_hist(),
+            },
+            outbound: DirectionAgg {
+                count: self.outbound_count,
+                dur_hist: self.outbound_durs.into_hist(),
+            },
+            closes_with_reason: self.closes_with_reason,
+            trimmed_closes: self.trimmed_closes,
+            per_peer,
+            distinct_connection_ips: distinct_ips.len(),
+            max_open_connections: self.max_open,
+            panes: self.panes,
+            recent_windows: self.recent_windows.into_iter().collect(),
+            peak_state_bytes: self.peak_state_bytes,
+        }
+    }
+}
+
+impl ObservationSink for StreamingMonitor {
+    fn connection_opened(
+        &mut self,
+        at: SimTime,
+        conn: ConnectionId,
+        peer_slot: u32,
+        direction: Direction,
+        addr_id: u32,
+    ) {
+        self.before_event(at);
+        let agg = self.slots.entry(peer_slot).or_default();
+        if agg.first_addr_id.is_none() {
+            agg.first_addr_id = Some(addr_id);
+        }
+        self.conn_addr_ids.insert(addr_id);
+        self.open.insert(
+            conn.0,
+            OpenConn {
+                slot: peer_slot,
+                direction,
+                opened_at: at,
+            },
+        );
+        self.open_count += 1;
+        *self.connected.entry(peer_slot).or_insert(0) += 1;
+        self.pane.apply(WindowEvent::Opened { slot: peer_slot });
+    }
+
+    fn connection_closed(&mut self, at: SimTime, conn: ConnectionId, peer_slot: u32, reason: CloseReason) {
+        self.before_event(at);
+        self.slots.entry(peer_slot).or_default();
+        let Some(open) = self.open.remove(&conn.0) else {
+            return; // close without open: ignored, exactly like the batch path
+        };
+        let recorded = self.recorded_close(at).max(open.opened_at);
+        self.open_count = self.open_count.saturating_sub(1);
+        if let Some(count) = self.connected.get_mut(&open.slot) {
+            *count -= 1;
+            if *count == 0 {
+                self.connected.remove(&open.slot);
+            }
+        }
+        self.closes_with_reason += 1;
+        if matches!(reason, CloseReason::TrimmedLocal | CloseReason::TrimmedRemote) {
+            self.trimmed_closes += 1;
+        }
+        self.complete_record(open.slot, open.direction, recorded.saturating_since(open.opened_at));
+    }
+
+    fn identify_received(&mut self, at: SimTime, peer_slot: u32, payload_id: u32) {
+        self.before_event(at);
+        let agg = self.slots.entry(peer_slot).or_default();
+        if !agg.identify_ids.contains(&payload_id) {
+            agg.identify_ids.push(payload_id);
+        }
+        self.pane.apply(WindowEvent::Identify { slot: peer_slot });
+    }
+
+    fn peer_discovered(&mut self, at: SimTime, peer_slot: u32, _addr_id: u32) {
+        self.before_event(at);
+        self.slots.entry(peer_slot).or_default();
+        self.pane.apply(WindowEvent::Discovered { slot: peer_slot });
+    }
+}
+
+/// The complete result of one streaming measurement campaign: the classic
+/// batch view and the streaming summaries, produced by **one** simulation
+/// through a sink tee.
+#[derive(Debug, Clone)]
+pub struct StreamingCampaign {
+    /// The batch pipeline's view of the run (identical to
+    /// [`crate::run_scenario`] on the same scenario — the differential
+    /// suite's reference).
+    pub batch: MeasurementCampaign,
+    /// One streaming summary per configured observer, in deployment order.
+    pub streams: Vec<StreamSummary>,
+    /// Width of the tumbling window panes.
+    pub window: SimDuration,
+}
+
+impl StreamingCampaign {
+    /// Looks up a stream by observer name.
+    pub fn stream(&self, observer: &str) -> Option<&StreamSummary> {
+        self.streams.iter().find(|s| s.observer == observer)
+    }
+
+    /// The primary stream: the go-ipfs observer if deployed, otherwise the
+    /// first stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign deployed no observers (no period is like
+    /// that).
+    pub fn primary_stream(&self) -> &StreamSummary {
+        self.stream("go-ipfs")
+            .or(self.streams.first())
+            .expect("every measurement period deploys at least one observer")
+    }
+
+    /// The vantage streams (the go-ipfs primary plus every `vantage-v*`
+    /// clone), in deployment order — the capture occasions of the streaming
+    /// capture–recapture estimators.
+    pub fn vantage_streams(&self) -> Vec<&StreamSummary> {
+        self.streams
+            .iter()
+            .filter(|s| s.observer == "go-ipfs" || s.observer.starts_with("vantage-v"))
+            .collect()
+    }
+}
+
+/// Runs a scenario once, with every observer teed into both pipelines.
+pub fn run_streaming_campaign(scenario: Scenario, window: SimDuration) -> StreamingCampaign {
+    run_streaming_built(scenario.build(), window, DurationMode::Exact)
+}
+
+/// Runs an already materialised scenario through the tee, with the given
+/// window width and duration-store mode.
+pub fn run_streaming_built(
+    run: ScenarioRun,
+    window: SimDuration,
+    duration_mode: DurationMode,
+) -> StreamingCampaign {
+    let scenario = run.scenario.clone();
+    let ground_truth_participants = run.ground_truth_participants;
+    let duration = run.config.duration;
+    let observers = run.config.observers.clone();
+
+    let sinks: Vec<TeeSink<ObservationTable, StreamingMonitor>> = observers
+        .iter()
+        .map(|spec| {
+            let config =
+                StreamConfig::for_observer(&spec.name, spec.role.is_server(), duration, window)
+                    .with_duration_mode(duration_mode);
+            TeeSink::new(spec.presized_table(), StreamingMonitor::new(config))
+        })
+        .collect();
+    let sink_run = netsim::Network::new(run.config, run.population.specs)
+        .with_population_events(run.events)
+        .run_with_sinks(sinks);
+
+    // Split the tees, finalise the streams against the run's registry, and
+    // hand the table halves back to netsim's own log assembly — the batch
+    // side of the tee goes through the exact code `Network::run` uses.
+    let mut tables = Vec::with_capacity(observers.len());
+    let mut monitors = Vec::with_capacity(observers.len());
+    for tee in sink_run.sinks {
+        let (table, monitor) = tee.into_parts();
+        tables.push(table);
+        monitors.push(monitor);
+    }
+    let streams: Vec<StreamSummary> = monitors
+        .into_iter()
+        .map(|monitor| monitor.finish(&sink_run.registry))
+        .collect();
+    let output = SinkRun {
+        sinks: tables,
+        ground_truth: sink_run.ground_truth,
+        registry: sink_run.registry,
+        ended_at: sink_run.ended_at,
+    }
+    .into_output(&observers);
+    let batch = campaign_from_output(scenario, ground_truth_participants, duration, output);
+    StreamingCampaign {
+        batch,
+        streams,
+        window,
+    }
+}
+
+/// Runs one period × scale × vantage count under every given churn regime,
+/// in parallel, through the streaming tee.
+///
+/// Campaigns come back in `scenarios` order regardless of `threads` —
+/// the same determinism contract as [`crate::run_scenario_suite`].
+pub fn run_stream_suite(
+    period: MeasurementPeriod,
+    scale: f64,
+    seed: u64,
+    vantages: usize,
+    window: SimDuration,
+    scenarios: &[ChurnScenario],
+    threads: usize,
+) -> Vec<StreamingCampaign> {
+    run_parallel_ordered(scenarios, threads, |_, churn| {
+        run_streaming_campaign(
+            Scenario::new(period)
+                .with_scale(scale)
+                .with_seed(seed)
+                .with_churn(churn.clone())
+                .with_vantage_points(vantages),
+            window,
+        )
+    })
+}
+
+/// The datasets a batch run of the same campaign would have materialised
+/// (primary plus hydra heads plus union), as a resident-bytes estimate —
+/// the denominator of the streaming memory claim.
+pub fn batch_resident_bytes(campaign: &MeasurementCampaign) -> usize {
+    let mut bytes = 0;
+    if let Some(go_ipfs) = &campaign.go_ipfs {
+        bytes += go_ipfs.approx_bytes();
+    }
+    for head in &campaign.hydra_heads {
+        bytes += head.approx_bytes();
+    }
+    if let Some(union) = &campaign.hydra_union {
+        bytes += union.approx_bytes();
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_scenario;
+    use netsim::ObservedEvent;
+    use p2pmodel::Multiaddr;
+    use p2pmodel::Transport;
+
+    fn addr(n: u32) -> Multiaddr {
+        Multiaddr::new(IpAddress::V4(n), Transport::Tcp, 4001)
+    }
+
+    fn sample_log() -> ObserverLog {
+        let mut log = ObserverLog::new("go-ipfs", PeerId::derived(0), true, SimTime::ZERO);
+        let peer = PeerId::derived(1);
+        log.push(ObservedEvent::ConnectionOpened {
+            at: SimTime::from_secs(10),
+            conn: ConnectionId(1),
+            peer,
+            direction: Direction::Inbound,
+            remote_addr: addr(1),
+        });
+        log.push(ObservedEvent::ConnectionClosed {
+            at: SimTime::from_secs(995),
+            conn: ConnectionId(1),
+            peer,
+            reason: CloseReason::TrimmedRemote,
+        });
+        log.push(ObservedEvent::ConnectionOpened {
+            at: SimTime::from_secs(2000),
+            conn: ConnectionId(2),
+            peer: PeerId::derived(2),
+            direction: Direction::Outbound,
+            remote_addr: addr(2),
+        });
+        log.push(ObservedEvent::PeerDiscovered {
+            at: SimTime::from_secs(2500),
+            peer: PeerId::derived(3),
+            addr: addr(3),
+        });
+        log.ended_at = SimTime::from_hours(1);
+        log
+    }
+
+    fn go_ipfs_config(window_secs: u64) -> StreamConfig {
+        StreamConfig::go_ipfs(
+            "go-ipfs",
+            true,
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+            SimDuration::from_secs(window_secs),
+        )
+    }
+
+    #[test]
+    fn quantised_close_and_end_close_match_the_batch_monitor() {
+        let summary = StreamingMonitor::new(go_ipfs_config(600)).ingest_log(&sample_log());
+        assert_eq!(summary.connections, 2);
+        assert_eq!(summary.pids, 3);
+        assert_eq!(summary.connected_pids(), 2);
+        // Connection 1: closed at 995 s, quantised up to 1 020 s → 1 010 s.
+        assert_eq!(summary.inbound.count, 1);
+        assert_eq!(summary.inbound.dur_hist, vec![(1_010_000, 1)]);
+        // Connection 2: still open, closed at the end → 3 600 − 2 000 s.
+        assert_eq!(summary.outbound.dur_hist, vec![(1_600_000, 1)]);
+        assert_eq!(summary.closes_with_reason, 1);
+        assert_eq!(summary.trimmed_closes, 1);
+        // 1 h at 10 min panes → 6 panes plus the final flush pane.
+        assert_eq!(summary.panes.len(), 7);
+        assert_eq!(summary.recent_windows.len(), 7, "default retention keeps every pane");
+        assert_eq!(summary.panes.last().unwrap().closed, 1);
+        assert_eq!(summary.recent_windows.last().unwrap().state.closed, 1);
+        assert!(summary.peak_state_bytes > 0);
+    }
+
+    #[test]
+    fn window_panes_partition_the_run_and_sum_to_the_totals() {
+        let summary = StreamingMonitor::new(go_ipfs_config(900)).ingest_log(&sample_log());
+        let mut merged = WindowState::new();
+        for snapshot in &summary.recent_windows {
+            assert_eq!(snapshot.summary(), summary.panes[snapshot.index as usize]);
+            merged.merge(&snapshot.state);
+        }
+        assert_eq!(merged.opened, 2);
+        assert_eq!(merged.closed, 2);
+        assert_eq!(merged.discoveries, 1);
+        assert_eq!(merged.event_count(), summary.events + 1, "end-close is synthetic");
+        // Pane boundaries tile [start, end].
+        for pair in summary.panes.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert_eq!(summary.panes.first().unwrap().start, SimTime::ZERO);
+        assert_eq!(summary.panes.last().unwrap().end, SimTime::from_hours(1));
+        // known_pids gauge is monotone (historic view).
+        for pair in summary.panes.windows(2) {
+            assert!(pair[0].known_pids <= pair[1].known_pids);
+        }
+    }
+
+    #[test]
+    fn sliding_windows_merge_adjacent_panes() {
+        let summary = StreamingMonitor::new(go_ipfs_config(900)).ingest_log(&sample_log());
+        let slides = sliding_windows(&summary.recent_windows, 2);
+        assert_eq!(slides.len(), summary.recent_windows.len());
+        assert_eq!(slides[0], summary.recent_windows[0].state);
+        let mut expected = summary.recent_windows[0].state.clone();
+        expected.merge(&summary.recent_windows[1].state);
+        assert_eq!(slides[1], expected);
+    }
+
+    #[test]
+    fn log_bucketed_mode_bounds_the_duration_store() {
+        let config = go_ipfs_config(900).with_duration_mode(DurationMode::LogBucketed);
+        let summary = StreamingMonitor::new(config).ingest_log(&sample_log());
+        assert_eq!(summary.duration_mode, DurationMode::LogBucketed);
+        assert_eq!(summary.connections, 2);
+        // Bucketed histograms report bucket lower edges ≤ the exact value.
+        assert!(summary.inbound.dur_hist[0].0 <= 1_010_000);
+        assert!(summary.inbound.dur_hist[0].0 >= 1_010_000 * 20 / 21);
+    }
+
+    #[test]
+    fn log_bucket_edges_are_strictly_increasing() {
+        let edges = log_bucket_edges();
+        assert_eq!(edges[0], 0);
+        assert_eq!(edges[1], 1);
+        assert!(edges.len() < 2_000, "O(1) bucket count, got {}", edges.len());
+        for pair in edges.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert!(*edges.last().unwrap() > SimDuration::from_days(365).as_millis());
+    }
+
+    #[test]
+    fn streaming_campaign_matches_the_classic_runner_byte_for_byte() {
+        let scenario = Scenario::new(MeasurementPeriod::P1).with_scale(0.003).with_seed(7);
+        let classic = run_scenario(scenario.clone());
+        let streaming = run_streaming_campaign(scenario, SimDuration::from_hours(6));
+        assert_eq!(
+            streaming.batch.primary().to_json_string(),
+            classic.primary().to_json_string(),
+            "the tee must not perturb the batch pipeline"
+        );
+        assert_eq!(streaming.batch.ground_truth, classic.ground_truth);
+        assert_eq!(streaming.batch.crawl_summary, classic.crawl_summary);
+        assert_eq!(streaming.streams.len(), 3, "go-ipfs + two hydra heads");
+        assert!(streaming.stream("go-ipfs").is_some());
+        assert_eq!(streaming.primary_stream().observer, "go-ipfs");
+        assert_eq!(streaming.vantage_streams().len(), 1);
+        // The streams saw the same traffic the batch datasets recorded.
+        for stream in &streaming.streams {
+            let dataset = if stream.observer == "go-ipfs" {
+                streaming.batch.go_ipfs.as_ref().unwrap()
+            } else {
+                streaming
+                    .batch
+                    .hydra_heads
+                    .iter()
+                    .find(|d| d.client == stream.observer)
+                    .unwrap()
+            };
+            assert_eq!(stream.pids, dataset.pid_count(), "{}", stream.observer);
+            assert_eq!(
+                stream.connections as usize,
+                dataset.connection_count(),
+                "{}",
+                stream.observer
+            );
+        }
+    }
+
+    #[test]
+    fn stream_suite_is_deterministic_across_thread_counts() {
+        let scenarios = vec![ChurnScenario::Baseline, ChurnScenario::flash_crowd()];
+        let window = SimDuration::from_hours(6);
+        let serial = run_stream_suite(MeasurementPeriod::P4, 0.003, 7, 1, window, &scenarios, 1);
+        let parallel = run_stream_suite(MeasurementPeriod::P4, 0.003, 7, 1, window, &scenarios, 2);
+        assert_eq!(serial.len(), 2);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.streams, b.streams);
+            assert_eq!(a.batch.primary(), b.batch.primary());
+        }
+    }
+
+    #[test]
+    fn batch_resident_bytes_counts_every_materialised_dataset() {
+        let campaign = run_scenario(
+            Scenario::new(MeasurementPeriod::P1).with_scale(0.003).with_seed(3),
+        );
+        let bytes = batch_resident_bytes(&campaign);
+        assert!(bytes > campaign.primary().approx_bytes());
+    }
+}

@@ -89,6 +89,25 @@ impl ObserverSpec {
         self.maintenance_interval = interval;
         self
     }
+
+    /// Expected steady-state connection count of this observer: HighWater
+    /// open connections plus the dials that can arrive before the next trim
+    /// pass. The single sizing heuristic behind every per-observer
+    /// pre-allocation (engine connection maps, observation tables) — tune
+    /// it here, not at the call sites.
+    pub fn expected_connections(&self) -> usize {
+        self.limits.high_water + self.limits.high_water / 4 + 16
+    }
+
+    /// A columnar observation table pre-sized for one run of this observer:
+    /// every open/close pair is two rows, so one full turn-over of the
+    /// connection table is reserved up front. [`crate::Network::run`] and
+    /// tee pipelines share this constructor.
+    pub fn presized_table(&self) -> crate::obs::ObservationTable {
+        let mut table = crate::obs::ObservationTable::new();
+        table.reserve(self.expected_connections() * 4);
+        table
+    }
 }
 
 /// Global configuration of a simulation run.

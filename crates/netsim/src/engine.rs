@@ -58,6 +58,13 @@ impl SimulationOutput {
         }
     }
 
+    /// Assembles a simulation output from externally built logs (the tee
+    /// pipelines that run [`Network::run_with_sinks`] and re-create the logs
+    /// with [`ObserverLog::from_columns`]) plus the run's ground truth.
+    pub fn from_logs(logs: Vec<ObserverLog>, ground_truth: GroundTruth) -> Self {
+        SimulationOutput::new(logs, ground_truth)
+    }
+
     /// Looks up an observer log by name.
     pub fn log(&self, observer: &str) -> Option<&ObserverLog> {
         self.by_name.get(observer).map(|&idx| &self.logs[idx])
@@ -79,6 +86,43 @@ pub struct SinkRun<S> {
     pub registry: IdentifyRegistry,
     /// When the run ended.
     pub ended_at: SimTime,
+}
+
+impl SinkRun<ObservationTable> {
+    /// Assembles the classic [`SimulationOutput`] from table sinks: each
+    /// table is time-sorted and wrapped into an [`ObserverLog`] over the
+    /// run's shared registry. `specs` must be the observer configuration
+    /// the run used, in order.
+    ///
+    /// [`Network::run`] is `run_with_sinks(presized tables)` plus this;
+    /// tee pipelines (`TeeSink<ObservationTable, _>`) rebuild a `SinkRun`
+    /// from their table halves and reuse the exact same assembly, so both
+    /// paths stay byte-identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs.len()` differs from the number of sinks.
+    pub fn into_output(self, specs: &[ObserverSpec]) -> SimulationOutput {
+        assert_eq!(specs.len(), self.sinks.len(), "one spec per sink");
+        let registry = Arc::new(self.registry);
+        let logs = specs
+            .iter()
+            .zip(self.sinks)
+            .map(|(spec, mut table)| {
+                table.stable_sort_by_time();
+                ObserverLog::from_columns(
+                    spec.name.clone(),
+                    spec.peer_id,
+                    spec.role.is_server(),
+                    SimTime::ZERO,
+                    self.ended_at,
+                    table,
+                    Arc::clone(&registry),
+                )
+            })
+            .collect();
+        SimulationOutput::new(logs, self.ground_truth)
+    }
 }
 
 /// Internal scheduler events.
@@ -236,38 +280,10 @@ impl Network {
             .config
             .observers
             .iter()
-            .map(|spec| {
-                // Pre-size for the steady state the connection manager
-                // converges to: HighWater open connections plus the dials
-                // that can arrive before the next trim pass; every open/close
-                // pair is two rows, so reserve one full turn-over of the
-                // connection table up front.
-                let expected_conns = spec.limits.high_water + spec.limits.high_water / 4 + 16;
-                let mut table = ObservationTable::new();
-                table.reserve(expected_conns * 4);
-                table
-            })
+            .map(ObserverSpec::presized_table)
             .collect();
         let specs: Vec<ObserverSpec> = self.config.observers.clone();
-        let run = self.run_with_sinks(sinks);
-        let registry = Arc::new(run.registry);
-        let logs = specs
-            .into_iter()
-            .zip(run.sinks)
-            .map(|(spec, mut table)| {
-                table.stable_sort_by_time();
-                ObserverLog::from_parts(
-                    spec.name,
-                    spec.peer_id,
-                    spec.role.is_server(),
-                    SimTime::ZERO,
-                    run.ended_at,
-                    table,
-                    Arc::clone(&registry),
-                )
-            })
-            .collect();
-        SimulationOutput::new(logs, run.ground_truth)
+        self.run_with_sinks(sinks).into_output(&specs)
     }
 
     /// Runs the simulation, emitting every observation into the caller's
@@ -343,7 +359,7 @@ impl<S: ObservationSink> Runner<S> {
             .cloned()
             .zip(sinks)
             .map(|(spec, sink)| {
-                let expected_conns = spec.limits.high_water + spec.limits.high_water / 4 + 16;
+                let expected_conns = spec.expected_connections();
                 ObserverState {
                     connmgr: ConnectionManager::new(spec.limits),
                     sink,

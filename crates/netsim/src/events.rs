@@ -149,10 +149,18 @@ impl ObserverLog {
         }
     }
 
-    /// Assembles a log from an engine-produced table and the run's shared
-    /// registry.
-    pub(crate) fn from_parts(
-        observer: String,
+    /// Assembles a log from a columnar table and the interning registry that
+    /// resolves its ids.
+    ///
+    /// This is how the engine builds the logs of [`crate::Network::run`], and
+    /// how tee pipelines ([`crate::TeeSink`] under
+    /// [`crate::Network::run_with_sinks`]) re-assemble the classic log shape
+    /// from the table half of a tee while a streaming consumer keeps the
+    /// other half. The table should be time-sorted
+    /// ([`ObservationTable::stable_sort_by_time`]); every id in it must have
+    /// been handed out by `registry`.
+    pub fn from_columns(
+        observer: impl Into<String>,
         peer_id: PeerId,
         dht_server: bool,
         started_at: SimTime,
@@ -161,7 +169,7 @@ impl ObserverLog {
         registry: Arc<IdentifyRegistry>,
     ) -> Self {
         ObserverLog {
-            observer,
+            observer: observer.into(),
             peer_id,
             dht_server,
             started_at,

@@ -37,7 +37,7 @@ pub use config::{DhtRole, NetworkConfig, ObserverSpec};
 pub use engine::{Network, SimulationOutput, SinkRun};
 pub use events::{GroundTruth, GroundTruthEvent, ObservedEvent, ObserverLog};
 pub use obs::{
-    CountingSink, IdentifyRegistry, ObservationKind, ObservationSink, ObservationTable,
+    CountingSink, IdentifyRegistry, ObservationKind, ObservationSink, ObservationTable, TeeSink,
 };
 pub use spec::{
     DialBehavior, MetadataChange, PopulationAction, PopulationEvent, RemotePeerSpec,

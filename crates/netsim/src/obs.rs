@@ -484,6 +484,63 @@ impl ObservationSink for ObservationTable {
     }
 }
 
+/// A fan-out sink: forwards every observation to two child sinks.
+///
+/// This is how a streaming consumer runs *concurrently* with the classic
+/// buffering pipeline in a single simulation: tee the engine's emissions into
+/// an [`ObservationTable`] (for the batch `MeasurementDataset` path) and into
+/// an incremental estimator (`measurement::stream`) at the same time, paying
+/// for one engine run instead of two. Tees nest, so any fan-out degree is
+/// expressible as `TeeSink<A, TeeSink<B, C>>`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TeeSink<A, B> {
+    /// The first child sink.
+    pub first: A,
+    /// The second child sink.
+    pub second: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Creates a tee over two child sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// Consumes the tee and returns both child sinks.
+    pub fn into_parts(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: ObservationSink, B: ObservationSink> ObservationSink for TeeSink<A, B> {
+    fn connection_opened(
+        &mut self,
+        at: SimTime,
+        conn: ConnectionId,
+        peer_slot: u32,
+        direction: Direction,
+        addr_id: u32,
+    ) {
+        self.first.connection_opened(at, conn, peer_slot, direction, addr_id);
+        self.second.connection_opened(at, conn, peer_slot, direction, addr_id);
+    }
+
+    fn connection_closed(&mut self, at: SimTime, conn: ConnectionId, peer_slot: u32, reason: CloseReason) {
+        self.first.connection_closed(at, conn, peer_slot, reason);
+        self.second.connection_closed(at, conn, peer_slot, reason);
+    }
+
+    fn identify_received(&mut self, at: SimTime, peer_slot: u32, payload_id: u32) {
+        self.first.identify_received(at, peer_slot, payload_id);
+        self.second.identify_received(at, peer_slot, payload_id);
+    }
+
+    fn peer_discovered(&mut self, at: SimTime, peer_slot: u32, addr_id: u32) {
+        self.first.peer_discovered(at, peer_slot, addr_id);
+        self.second.peer_discovered(at, peer_slot, addr_id);
+    }
+}
+
 /// A sink that only counts events — used by the scale harness to measure
 /// pure engine throughput with zero observation-storage cost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -625,6 +682,29 @@ mod tests {
         b.identify_received(SimTime::from_secs(1), 1, 0);
         assert_ne!(a.checksum(), b.checksum());
         assert_eq!(a.checksum(), a.clone().checksum());
+    }
+
+    #[test]
+    fn tee_sink_forwards_every_event_to_both_children() {
+        let mut tee = TeeSink::new(ObservationTable::new(), CountingSink::default());
+        tee.connection_opened(SimTime::from_secs(1), ConnectionId(4), 2, Direction::Inbound, 7);
+        tee.identify_received(SimTime::from_secs(2), 2, 1);
+        tee.connection_closed(SimTime::from_secs(3), ConnectionId(4), 2, CloseReason::PeerLeft);
+        tee.peer_discovered(SimTime::from_secs(4), 9, 3);
+        let (table, counter) = tee.into_parts();
+        assert_eq!(table.len(), 4);
+        assert_eq!(counter.total(), 4);
+        assert_eq!(counter.opened, 1);
+        assert_eq!(counter.discovered, 1);
+
+        // A direct table records the identical columns.
+        let mut direct = ObservationTable::new();
+        direct.connection_opened(SimTime::from_secs(1), ConnectionId(4), 2, Direction::Inbound, 7);
+        direct.identify_received(SimTime::from_secs(2), 2, 1);
+        direct.connection_closed(SimTime::from_secs(3), ConnectionId(4), 2, CloseReason::PeerLeft);
+        direct.peer_discovered(SimTime::from_secs(4), 9, 3);
+        assert_eq!(table, direct);
+        assert_eq!(table.checksum(), direct.checksum());
     }
 
     #[test]

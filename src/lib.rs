@@ -43,17 +43,20 @@ pub use simclock;
 /// The most commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
     pub use analysis::{
-        agent_histogram, analyze_vantages, chao1, classify_peers, connection_count_cdf,
-        connection_stats, connection_timeline, direction_stats, fingerprint_groups,
-        horizon_comparison, ip_grouping, lincoln_petersen, max_duration_cdf,
+        agent_histogram, analyze_stream, analyze_vantages, chao1, classify_peers,
+        connection_count_cdf, connection_stats, connection_timeline, direction_stats,
+        fingerprint_groups, horizon_comparison, ip_grouping, lincoln_petersen, max_duration_cdf,
         network_size_estimate, pid_growth, protocol_histogram, robustness_report, role_switches,
-        scenario_robustness, vantage_report, version_changes, ConnectionClass, RobustnessReport,
+        scenario_robustness, stream_estimates, stream_report, vantage_report, version_changes,
+        ConnectionClass, RobustnessReport, StreamAnalysis, StreamEstimates, StreamReport,
         VantageAnalysis, VantageReport,
     };
     pub use measurement::{
-        run_period, run_scenario, run_scenario_suite, run_sweep, run_vantage_campaign,
-        run_vantage_suite, ActiveCrawler, GoIpfsMonitor, HydraMonitor, MeasurementCampaign,
-        MeasurementDataset, ObserverTweak, SweepGrid, SweepReport, SweepRunner, VantageCampaign,
+        run_period, run_scenario, run_scenario_suite, run_stream_suite, run_streaming_campaign,
+        run_sweep, run_vantage_campaign, run_vantage_suite, ActiveCrawler, GoIpfsMonitor,
+        HydraMonitor, MeasurementCampaign, MeasurementDataset, ObserverTweak, StreamSummary,
+        StreamingCampaign, StreamingMonitor, SweepGrid, SweepReport, SweepRunner, VantageCampaign,
+        WindowState,
     };
     pub use netsim::{
         DhtRole, Network, NetworkConfig, ObserverSpec, PopulationAction, PopulationEvent,
