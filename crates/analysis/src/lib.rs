@@ -11,8 +11,10 @@
 //! | [`cdf`] | Fig. 7 — CDFs of max connection duration and of connections per PID |
 //! | [`netsize`] | Section V — IP-address grouping, Table IV peer classification, network-size estimates |
 //! | [`robustness`] | Estimator error under adversarial churn scenarios (diurnal waves, flash crowds, PID floods, NAT churn) |
-//! | [`vantage`] | Multi-vantage horizons, pairwise overlap matrices and Lincoln–Petersen / Chao1 capture–recapture network-size estimates |
+//! | [`vantage`] | Multi-vantage horizons, pairwise overlap matrices and Lincoln–Petersen / Chao1 / Chao2 / jackknife capture–recapture network-size estimates |
 //! | [`stream`] | Batch-identical estimates plus per-window time series from the single-pass streaming engine (`measurement::stream`) |
+//! | [`survival`] | Kaplan–Meier / Nelson–Aalen session-duration estimation under right-censoring (§IV churn, horizon-aware) |
+//! | [`calibration`] | Seeded-replicate estimator calibration: bootstrap CIs, empirical coverage, signed bias and the per-regime leaderboard |
 //! | [`fingerprint`] | The paper's future-work idea: re-identifying peers by metadata fingerprints |
 //! | [`report`] | Text tables / CSV rendering shared by the reproduction harness |
 //!
@@ -23,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod cdf;
 pub mod churn;
 pub mod fingerprint;
@@ -32,10 +35,16 @@ pub mod netsize;
 pub mod report;
 pub mod robustness;
 pub mod stream;
+pub mod survival;
 pub mod timeline;
 pub mod validation;
 pub mod vantage;
 
+pub use calibration::{
+    bootstrap_cis, bootstrap_seed, calibration_report, window_bootstrap_seed, CalibrationCell,
+    CalibrationReport, CaptureHistory, EstimatorCalibration, EstimatorKind, WINDOW_ESTIMATORS,
+    WINDOW_OCCASIONS, WINDOW_SPAN_SECS,
+};
 pub use cdf::{connection_count_cdf, max_duration_cdf, DurationCdfs};
 pub use churn::{connection_stats, direction_stats, ConnectionStats, DirectionStats};
 pub use fingerprint::{fingerprint_groups, FingerprintEstimate};
@@ -46,7 +55,8 @@ pub use metadata::{
 };
 pub use netsize::{classify_peers, ip_grouping, network_size_estimate, ConnectionClass, IpGrouping, NetworkSizeEstimate, PeerClassification};
 pub use robustness::{
-    robustness_report, scenario_robustness, EstimatorError, RobustnessReport, RobustnessRow,
+    robustness_report, robustness_row, scenario_robustness, EstimatorError, RobustnessReport,
+    RobustnessRow,
 };
 pub use stream::{
     analyze_stream, hist_summary, stream_capture_rows, stream_classify_peers,
@@ -54,9 +64,13 @@ pub use stream::{
     stream_network_size, stream_report, stream_time_series, StreamAnalysis, StreamEstimates,
     StreamReport, StreamTimeSeries,
 };
+pub use survival::{
+    analyze_survival, multiset_subtract, survival_report, SurvivalAnalysis, SurvivalCurve,
+    SurvivalPoint, SurvivalReport,
+};
 pub use timeline::{connection_timeline, pid_growth, PidGrowth};
 pub use validation::{churn_decomposition, ChurnDecomposition};
 pub use vantage::{
-    analyze_vantages, chao1, lincoln_petersen, vantage_report, CaptureRecapture, VantageAnalysis,
-    VantageCountRow, VantageReport,
+    analyze_vantages, chao1, chao2, jackknife1, lincoln_petersen, vantage_report,
+    CaptureRecapture, VantageAnalysis, VantageCountRow, VantageReport,
 };

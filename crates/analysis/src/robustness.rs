@@ -22,7 +22,8 @@
 use crate::netsize::{classify_peers, network_size_estimate, ConnectionClass};
 use crate::report;
 use jsonio::Json;
-use measurement::MeasurementCampaign;
+use measurement::{MeasurementCampaign, MeasurementDataset};
+use population::Scenario;
 
 /// One estimator compared against the ground-truth participant count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,7 +94,11 @@ pub struct RobustnessRow {
 }
 
 impl RobustnessRow {
-    fn to_json(&self) -> Json {
+    /// Renders the row as a [`Json`] object — the exact per-row shape of
+    /// [`RobustnessReport::to_json`], also embedded verbatim by the
+    /// calibration report's single-vantage cells (pinned byte-identical by
+    /// `tests/estimator_differential.rs`).
+    pub fn to_json(&self) -> Json {
         let mut obj = Json::object();
         obj.insert("scenario", self.scenario.as_str());
         obj.insert("period", self.period.as_str());
@@ -114,18 +119,26 @@ impl RobustnessRow {
     }
 }
 
-/// Computes the robustness row of one finished campaign.
-pub fn scenario_robustness(campaign: &MeasurementCampaign) -> RobustnessRow {
-    let dataset = campaign.primary();
+/// Computes the robustness row of one primary dataset against its
+/// ground-truth population — the shared numeric core of
+/// [`scenario_robustness`] and of the calibration harness's
+/// single-vantage path (`crate::calibration`): both feed the same dataset
+/// and truth values through this builder, so their rows are byte-identical
+/// by construction.
+pub fn robustness_row(
+    dataset: &MeasurementDataset,
+    scenario: &Scenario,
+    truth_pids: usize,
+    truth_participants: usize,
+) -> RobustnessRow {
     let estimate = network_size_estimate(dataset);
     let classification = classify_peers(dataset);
-    let truth_participants = campaign.ground_truth_participants;
     RobustnessRow {
-        scenario: campaign.scenario.churn.label().to_string(),
-        period: campaign.scenario.period.label().to_string(),
-        scale: campaign.scenario.scale,
-        seed: campaign.scenario.seed,
-        truth_pids: campaign.ground_truth.population_size(),
+        scenario: scenario.churn.label().to_string(),
+        period: scenario.period.label().to_string(),
+        scale: scenario.scale,
+        seed: scenario.seed,
+        truth_pids,
         truth_participants,
         observed_pids: dataset.pid_count(),
         by_pids: EstimatorError::new(estimate.by_pids, truth_participants),
@@ -136,6 +149,16 @@ pub fn scenario_robustness(campaign: &MeasurementCampaign) -> RobustnessRow {
             .map(|class| (class.label().to_string(), classification.count(*class)))
             .collect(),
     }
+}
+
+/// Computes the robustness row of one finished campaign.
+pub fn scenario_robustness(campaign: &MeasurementCampaign) -> RobustnessRow {
+    robustness_row(
+        campaign.primary(),
+        &campaign.scenario,
+        campaign.ground_truth.population_size(),
+        campaign.ground_truth_participants,
+    )
 }
 
 /// Per-scenario estimator errors for a suite of campaigns.

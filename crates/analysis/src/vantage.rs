@@ -105,6 +105,13 @@ pub fn lincoln_petersen(n1: usize, n2: usize, m: usize) -> Option<CaptureRecaptu
 /// Always finite (the `f2+1` denominator is the bias-corrected form) and
 /// never smaller than `S`. Returns `None` for fewer than two occasions —
 /// a single vantage has no frequency structure to exploit.
+///
+/// When `f2 == 0` the general variance expression degenerates (its doubleton
+/// term vanishes and the remaining `f2+1` denominators understate the
+/// uncertainty of an estimate driven entirely by singletons), so the CI
+/// switches to the variance of the bias-corrected variant —
+/// `a·f1(f1−1)/2 + a²·f1(2f1−1)²/4 − a²·f1⁴/(4N̂)` — which is the standard
+/// companion of the `f2 = 0` point estimate.
 pub fn chao1(occasions: usize, observed: usize, f1: usize, f2: usize) -> Option<CaptureRecapture> {
     if occasions < 2 {
         return None;
@@ -114,9 +121,82 @@ pub fn chao1(occasions: usize, observed: usize, f1: usize, f2: usize) -> Option<
     let (s, f1, f2) = (observed as f64, f1 as f64, f2 as f64);
     let g = f2 + 1.0;
     let estimate = s + a * f1 * (f1 - 1.0) / (2.0 * g);
-    let variance = a * f1 * (f1 - 1.0) / (2.0 * g)
-        + a * a * f1 * (2.0 * f1 - 1.0) * (2.0 * f1 - 1.0) / (4.0 * g * g)
-        + a * a * f1 * f1 * f2 * (f1 - 1.0) * (f1 - 1.0) / (4.0 * g * g * g * g);
+    let variance = if f2 == 0.0 {
+        chao_f2_zero_variance(a, f1, estimate)
+    } else {
+        a * f1 * (f1 - 1.0) / (2.0 * g)
+            + a * a * f1 * (2.0 * f1 - 1.0) * (2.0 * f1 - 1.0) / (4.0 * g * g)
+            + a * a * f1 * f1 * f2 * (f1 - 1.0) * (f1 - 1.0) / (4.0 * g * g * g * g)
+    };
+    Some(CaptureRecapture::from_variance(estimate, variance, s))
+}
+
+/// Variance of the bias-corrected Chao estimate when no doubletons exist
+/// (`f2 == 0`): `a·f1(f1−1)/2 + a²·f1(2f1−1)²/4 − a²·f1⁴/(4N̂)`, clamped at
+/// zero. Shared by [`chao1`] and [`chao2`], whose bias-corrected forms
+/// coincide in this regime.
+fn chao_f2_zero_variance(a: f64, f1: f64, estimate: f64) -> f64 {
+    if estimate <= 0.0 {
+        return 0.0;
+    }
+    let variance = a * f1 * (f1 - 1.0) / 2.0
+        + a * a * f1 * (2.0 * f1 - 1.0) * (2.0 * f1 - 1.0) / 4.0
+        - a * a * f1 * f1 * f1 * f1 / (4.0 * estimate);
+    variance.max(0.0)
+}
+
+/// Chao2 incidence-based richness estimate in its classic form:
+/// `N̂ = S + ((t−1)/t) · f1² / (2 f2)` with Chao's 1987 incidence variance
+/// `f2 · (a r²/2 + a² r³ + a² r⁴/4)` for `r = f1/f2`.
+///
+/// Unlike the bias-corrected [`chao1`], the classic ratio estimator is
+/// (asymptotically) unbiased under homogeneous detectability but undefined
+/// at `f2 == 0`; there it falls back to the bias-corrected estimate and the
+/// matching `f2 = 0` variance, so the result is always finite and never
+/// smaller than `S`. Returns `None` for fewer than two occasions.
+pub fn chao2(occasions: usize, observed: usize, f1: usize, f2: usize) -> Option<CaptureRecapture> {
+    if occasions < 2 {
+        return None;
+    }
+    let t = occasions as f64;
+    let a = (t - 1.0) / t;
+    let (s, f1, f2) = (observed as f64, f1 as f64, f2 as f64);
+    if f2 == 0.0 {
+        // No doubletons: the ratio form divides by zero, so use the
+        // bias-corrected variant (identical to Chao1's f2 = 0 path).
+        let estimate = s + a * f1 * (f1 - 1.0) / 2.0;
+        let variance = chao_f2_zero_variance(a, f1, estimate);
+        return Some(CaptureRecapture::from_variance(estimate, variance, s));
+    }
+    let estimate = s + a * f1 * f1 / (2.0 * f2);
+    let r = f1 / f2;
+    let variance = f2 * (a * r * r / 2.0 + a * a * r * r * r + a * a * r * r * r * r / 4.0);
+    Some(CaptureRecapture::from_variance(estimate, variance, s))
+}
+
+/// First-order jackknife richness estimate: `N̂ = S + f1 · (t−1)/t` for `S`
+/// observed PIDs over `t` occasions with `f1` occasion-unique PIDs, with the
+/// Heltshe–Forrester (1983) variance
+/// `((t−1)/t) · (Σ_j j²·s_j − f1²/t)` where `s_j` counts the occasions
+/// containing exactly `j` of the occasion-unique PIDs.
+///
+/// `uniques_per_occasion[i]` is the number of PIDs seen *only* by occasion
+/// `i` (so `f1` is its sum). The estimate is always finite, never smaller
+/// than `S`, and its variance is zero when every occasion contributes the
+/// same number of uniques in a two-occasion design — imbalance between
+/// occasions is exactly what the jackknife variance measures. Returns
+/// `None` for fewer than two occasions.
+pub fn jackknife1(occasions: usize, observed: usize, uniques_per_occasion: &[usize]) -> Option<CaptureRecapture> {
+    if occasions < 2 || uniques_per_occasion.len() != occasions {
+        return None;
+    }
+    let t = occasions as f64;
+    let a = (t - 1.0) / t;
+    let f1: usize = uniques_per_occasion.iter().sum();
+    let s = observed as f64;
+    let estimate = s + a * f1 as f64;
+    let sum_j2: f64 = uniques_per_occasion.iter().map(|&j| (j * j) as f64).sum();
+    let variance = (a * (sum_j2 - (f1 * f1) as f64 / t)).max(0.0);
     Some(CaptureRecapture::from_variance(estimate, variance, s))
 }
 
@@ -489,6 +569,86 @@ mod tests {
         assert!(chao1(1, 50, 50, 0).is_none());
         // f2 = 0 stays finite (bias-corrected form).
         assert!(chao1(2, 50, 50, 0).unwrap().estimate.is_finite());
+    }
+
+    #[test]
+    fn chao1_f2_zero_uses_the_bias_corrected_variance() {
+        // Hand-built capture history over two occasions with *disjoint* PID
+        // sets: {A, B} vs {C, D}. Every PID is a singleton, so f1 = 4 and
+        // f2 = 0 — the degenerate case the general variance mishandles.
+        let sets: Vec<Vec<PeerId>> = vec![
+            {
+                let mut s = vec![PeerId::derived(1), PeerId::derived(2)];
+                s.sort();
+                s
+            },
+            {
+                let mut s = vec![PeerId::derived(3), PeerId::derived(4)];
+                s.sort();
+                s
+            },
+        ];
+        let rows = accumulation_rows(&sets, 10);
+        let chao = rows[1].chao1.expect("two occasions produce a Chao1 estimate");
+        // N̂ = 4 + (1/2)·4·3/2 = 7 (the estimate itself is unchanged).
+        assert!((chao.estimate - 7.0).abs() < 1e-12);
+        // Bias-corrected f2 = 0 variance:
+        // a·f1(f1−1)/2 + a²·f1(2f1−1)²/4 − a²·f1⁴/(4N̂)
+        // = 3 + 12.25 − 16/7 = 12.964285…
+        let variance: f64 = 3.0 + 12.25 - 256.0 / (4.0 * 4.0 * 7.0);
+        let half = 1.96 * variance.sqrt();
+        assert!((chao.ci95_high - (7.0 + half)).abs() < 1e-9, "upper CI uses the f2=0 variance");
+        assert!((chao.ci95_low - (7.0 - half).max(4.0)).abs() < 1e-9);
+        // Direct call agrees, and stays finite/ordered for larger f1.
+        let direct = chao1(2, 4, 4, 0).unwrap();
+        assert!((direct.ci95_high - chao.ci95_high).abs() < 1e-12);
+        let big = chao1(3, 500, 120, 0).unwrap();
+        assert!(big.estimate.is_finite() && big.ci95_low <= big.estimate);
+        assert!(big.ci95_high >= big.estimate);
+        // Degenerate all-empty history keeps a zero-width interval.
+        let empty = chao1(2, 0, 0, 0).unwrap();
+        assert_eq!(empty.estimate, 0.0);
+        assert_eq!(empty.ci95_high, 0.0);
+    }
+
+    #[test]
+    fn chao2_matches_hand_computation() {
+        // t = 2, S = 100, f1 = 30, f2 = 70: classic ratio form
+        // N̂ = 100 + (1/2)·30²/(2·70).
+        let chao = chao2(2, 100, 30, 70).unwrap();
+        assert!((chao.estimate - (100.0 + 0.5 * 900.0 / 140.0)).abs() < 1e-9);
+        assert!(chao.estimate >= 100.0);
+        assert!(chao.ci95_low >= 100.0 && chao.ci95_high >= chao.estimate);
+        // Chao2's classic form sits above bias-corrected Chao1 on the same
+        // history (the (f1−1)/(f2+1) correction shrinks the unseen mass).
+        let c1 = chao1(2, 100, 30, 70).unwrap();
+        assert!(chao.estimate > c1.estimate);
+        // f2 = 0 falls back to the bias-corrected estimate, same as Chao1.
+        let fallback = chao2(2, 50, 10, 0).unwrap();
+        let c1 = chao1(2, 50, 10, 0).unwrap();
+        assert!((fallback.estimate - c1.estimate).abs() < 1e-12);
+        assert!((fallback.ci95_high - c1.ci95_high).abs() < 1e-12);
+        assert!(chao2(1, 50, 10, 0).is_none());
+    }
+
+    #[test]
+    fn jackknife1_matches_hand_computation() {
+        // t = 2, S = 10, occasion uniques (4, 0): N̂ = 10 + 4·(1/2) = 12.
+        let jk = jackknife1(2, 10, &[4, 0]).unwrap();
+        assert!((jk.estimate - 12.0).abs() < 1e-12);
+        // Heltshe–Forrester: var = (1/2)·(16 + 0 − 16/2) = 4 → half = 1.96·2.
+        assert!((jk.ci95_high - (12.0 + 1.96 * 2.0)).abs() < 1e-9);
+        // Balanced uniques in a two-occasion design have zero variance.
+        let balanced = jackknife1(2, 10, &[2, 2]).unwrap();
+        assert!((balanced.estimate - 12.0).abs() < 1e-12);
+        assert_eq!(balanced.ci95_low, balanced.ci95_high);
+        // No occasion-unique PIDs → no unseen mass, zero-width interval.
+        let saturated = jackknife1(3, 50, &[0, 0, 0]).unwrap();
+        assert_eq!(saturated.estimate, 50.0);
+        assert_eq!(saturated.ci95_low, 50.0);
+        // Guards: one occasion, or a mismatched uniques slice.
+        assert!(jackknife1(1, 10, &[4]).is_none());
+        assert!(jackknife1(3, 10, &[4, 0]).is_none());
     }
 
     #[test]

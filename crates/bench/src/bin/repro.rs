@@ -65,7 +65,21 @@
 //! cargo run --release -p bench --bin repro -- stream --long-horizon --horizons 1,3,7
 //! ```
 //!
-//! Sweep, scenario, vantage, scale and stream stdout is deterministic: the same configuration
+//! The `estimators` subcommand runs the estimator calibration lab: R seeded
+//! replicates per churn regime (`measurement::replicate`), every
+//! capture–recapture estimator (Lincoln–Petersen, Chao1, Chao2, first-order
+//! jackknife) with analytic and seeded-bootstrap CI95s, empirical coverage,
+//! signed bias and a per-regime leaderboard (`analysis::calibration`), with
+//! Kaplan–Meier session-lifetime context (`analysis::survival`) per cell.
+//! The full report (including timing) is written to `BENCH_estimators.json`:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro -- estimators --replicates 5
+//! cargo run --release -p bench --bin repro -- estimators --period P4 --scale 0.005 \
+//!     --scenarios baseline,flashcrowd,pidflood --vantages 3 --bootstrap 200 --threads 8
+//! ```
+//!
+//! Sweep, scenario, vantage, scale, stream and estimators stdout is deterministic: the same configuration
 //! produces byte-identical JSON regardless of `--threads` (timing numbers go
 //! to the `BENCH_*.json` files and stderr only).
 //!
@@ -152,6 +166,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("stream") {
         run_stream_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("estimators") {
+        run_estimators_command(&args[1..]);
         return;
     }
     let options = parse_args();
@@ -922,6 +940,145 @@ fn run_stream_bench_command(args: &[String]) {
     // stdout carries only the deterministic fields, so runs at different
     // thread counts can be compared byte-for-byte.
     println!("{}", report.deterministic_json().to_string_pretty());
+}
+
+// ---- the `estimators` subcommand -------------------------------------------
+
+fn estimators_usage() -> ! {
+    eprintln!(
+        "usage: repro estimators [--period P4] [--scale 0.005] [--seed N] \
+         [--vantages 3] [--replicates 5] [--bootstrap 200] [--window-hours 6] \
+         [--scenarios baseline,diurnal,flashcrowd,massexit,pidflood,natchurn] \
+         [--threads N] [--pretty] [--no-table] \
+         [--out BENCH_estimators.json] [--no-file]"
+    );
+    std::process::exit(2);
+}
+
+fn run_estimators_command(args: &[String]) {
+    use bench::estimators::{run_estimators_bench_with_progress, EstimatorsBenchConfig};
+
+    let mut cfg = EstimatorsBenchConfig::default();
+    let mut threads: Option<usize> = None;
+    let mut pretty = false;
+    let mut table = true;
+    let mut out_path = String::from("BENCH_estimators.json");
+    let mut write_file = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| estimators_usage())
+        };
+        match args[i].as_str() {
+            "--period" => {
+                cfg.period = MeasurementPeriod::from_label(take(i)).unwrap_or_else(|| {
+                    eprintln!("unknown period {:?} (expected P0..P4 or P14d)", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--scale" => {
+                cfg.scale = take(i).parse().unwrap_or_else(|_| estimators_usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = take(i).parse().unwrap_or_else(|_| estimators_usage());
+                i += 2;
+            }
+            "--vantages" => {
+                cfg.vantages = take(i).parse().unwrap_or_else(|_| estimators_usage());
+                i += 2;
+            }
+            "--replicates" => {
+                cfg.replicates = take(i).parse().unwrap_or_else(|_| estimators_usage());
+                i += 2;
+            }
+            "--bootstrap" => {
+                cfg.bootstrap = take(i).parse().unwrap_or_else(|_| estimators_usage());
+                i += 2;
+            }
+            "--window-hours" => {
+                let hours: u64 = take(i).parse().unwrap_or_else(|_| estimators_usage());
+                cfg.window = SimDuration::from_hours(hours);
+                i += 2;
+            }
+            "--scenarios" => {
+                cfg.scenarios = parse_scenarios(take(i));
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(take(i).parse().unwrap_or_else(|_| estimators_usage()));
+                i += 2;
+            }
+            "--pretty" => {
+                pretty = true;
+                i += 1;
+            }
+            "--no-table" => {
+                table = false;
+                i += 1;
+            }
+            "--out" => {
+                out_path = take(i).to_string();
+                i += 2;
+            }
+            "--no-file" => {
+                write_file = false;
+                i += 1;
+            }
+            _ => estimators_usage(),
+        }
+    }
+    if cfg.scenarios.is_empty() || cfg.vantages == 0 || cfg.replicates == 0
+        || cfg.window.is_zero() || !cfg.scale.is_finite() || cfg.scale <= 0.0
+    {
+        estimators_usage();
+    }
+
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    eprintln!(
+        "# estimators: {} replicates x {} vantage(s) on {} at scale {}, seed {}, \
+         {} bootstrap resamples, scenarios {}",
+        cfg.replicates,
+        cfg.vantages,
+        cfg.period,
+        cfg.scale,
+        cfg.seed,
+        cfg.bootstrap,
+        cfg.scenarios
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let started = std::time::Instant::now();
+    let report = run_estimators_bench_with_progress(&cfg, threads, |stage| {
+        eprintln!("# {stage}");
+    });
+    eprintln!("# estimators finished in {:.1?}", started.elapsed());
+    eprintln!("# {}", report.summary());
+    if table {
+        eprintln!("\n{}", report.report.summary_table());
+    }
+    if write_file {
+        let mut text = report.full_json().to_string_pretty();
+        text.push('\n');
+        if let Err(error) = std::fs::write(&out_path, text) {
+            eprintln!("failed to write {out_path}: {error}");
+            std::process::exit(1);
+        }
+        eprintln!("# full report (with timing) written to {out_path}");
+    }
+    // stdout carries only the deterministic fields, so runs at different
+    // thread counts can be compared byte-for-byte.
+    if pretty {
+        println!("{}", report.deterministic_json().to_string_pretty());
+    } else {
+        println!("{}", report.deterministic_json().to_string_compact());
+    }
 }
 
 // ---- the `vantage` subcommand ----------------------------------------------

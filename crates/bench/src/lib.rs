@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod estimators;
 pub mod scale;
 pub mod stream;
 

@@ -25,6 +25,9 @@
 //!   campaign and produces per-vantage data sets plus their deduplicating
 //!   union — the input of the capture–recapture network-size estimators in
 //!   the `analysis` crate.
+//! * [`replicate`] reruns one vantage suite under R deterministically
+//!   derived seeds — the independent realisations the estimator
+//!   calibration lab (`analysis::calibration`) measures coverage over.
 //! * [`stream`] is the single-pass alternative to materialised data sets: a
 //!   [`StreamingMonitor`] consumes the engine's emissions live (teed next to
 //!   the classic pipeline) and maintains sliding/tumbling-window state in
@@ -39,6 +42,7 @@ pub mod dataset;
 pub mod monitor;
 pub(crate) mod parallel;
 pub mod record;
+pub mod replicate;
 pub mod runner;
 pub mod stream;
 pub mod sweep;
@@ -48,6 +52,7 @@ pub use crawler::{ActiveCrawler, CrawlSnapshot, CrawlSummary};
 pub use dataset::MeasurementDataset;
 pub use monitor::{GoIpfsMonitor, HydraMonitor};
 pub use record::{ConnectionRecord, MetadataChangeRecord, PeerRecord, SnapshotRecord};
+pub use replicate::{replicate_seed, run_replicated_vantage_suite, ReplicateSuite};
 pub use runner::{
     campaign_from_output, run_built, run_period, run_scenario, run_scenario_suite,
     MeasurementCampaign,

@@ -476,6 +476,19 @@ pub struct StreamSummary {
     pub closes_with_reason: u64,
     /// Closes whose reason was local or remote trimming.
     pub trimmed_closes: u64,
+    /// Ascending run-length histogram of the *right-censored* durations:
+    /// connections cut off by the measurement horizon rather than ended by
+    /// the network — [`CloseReason::MeasurementEnd`] closes (the engine
+    /// shuts every open connection at the horizon) plus any connection
+    /// still open when the monitor finished, recorded at
+    /// `ended_at − opened_at`. A sub-multiset of [`combined_dur_hist`]
+    /// (the censored store runs in the same [`DurationMode`] as the
+    /// direction stores), so subtracting it yields the uncensored session
+    /// durations — the split `analysis::survival` needs for Kaplan–Meier
+    /// estimation.
+    ///
+    /// [`combined_dur_hist`]: StreamSummary::combined_dur_hist
+    pub censored_dur_hist: Vec<(u64, u64)>,
     /// Per-peer aggregates, keyed by PID.
     pub per_peer: BTreeMap<PeerId, PeerStreamAgg>,
     /// Distinct IP addresses across all connections.
@@ -684,6 +697,7 @@ pub struct StreamingMonitor {
     outbound_count: u64,
     inbound_durs: DurationStore,
     outbound_durs: DurationStore,
+    censored_durs: DurationStore,
     closes_with_reason: u64,
     trimmed_closes: u64,
     events: u64,
@@ -716,6 +730,7 @@ impl StreamingMonitor {
             outbound_count: 0,
             inbound_durs: DurationStore::new(duration_mode),
             outbound_durs: DurationStore::new(duration_mode),
+            censored_durs: DurationStore::new(duration_mode),
             closes_with_reason: 0,
             trimmed_closes: 0,
             events: 0,
@@ -748,6 +763,7 @@ impl StreamingMonitor {
             + self.conn_addr_ids.len() * map_entry(size_of::<u32>(), 0)
             + self.inbound_durs.approx_bytes()
             + self.outbound_durs.approx_bytes()
+            + self.censored_durs.approx_bytes()
             + self.connected.len() * map_entry(size_of::<u32>(), size_of::<u32>())
             + self.pane.approx_bytes()
             + self.panes.capacity() * size_of::<PaneSummary>()
@@ -904,6 +920,11 @@ impl StreamingMonitor {
         remaining.sort_by_key(|&(conn, _)| conn);
         for (_, open) in remaining {
             let duration = ended_at.saturating_since(open.opened_at);
+            // End-of-measurement closes are the right-censored observations:
+            // the true session outlived the horizon. Track their durations
+            // separately so the survival layer can split censored from
+            // completed sessions.
+            self.censored_durs.push(duration.as_millis());
             self.complete_record(open.slot, open.direction, duration);
         }
         let state = std::mem::take(&mut self.pane);
@@ -963,6 +984,7 @@ impl StreamingMonitor {
             },
             closes_with_reason: self.closes_with_reason,
             trimmed_closes: self.trimmed_closes,
+            censored_dur_hist: self.censored_durs.into_hist(),
             per_peer,
             distinct_connection_ips: distinct_ips.len(),
             max_open_connections: self.max_open,
@@ -1019,7 +1041,15 @@ impl ObservationSink for StreamingMonitor {
         if matches!(reason, CloseReason::TrimmedLocal | CloseReason::TrimmedRemote) {
             self.trimmed_closes += 1;
         }
-        self.complete_record(open.slot, open.direction, recorded.saturating_since(open.opened_at));
+        let duration = recorded.saturating_since(open.opened_at);
+        // A horizon close tells us the session *outlived* the measurement,
+        // not that it ended — the observation is right-censored. Same
+        // duration value as the completed record, so the censored multiset
+        // stays a sub-multiset of the combined one.
+        if matches!(reason, CloseReason::MeasurementEnd) {
+            self.censored_durs.push(duration.as_millis());
+        }
+        self.complete_record(open.slot, open.direction, duration);
     }
 
     fn identify_received(&mut self, at: SimTime, peer_slot: u32, payload_id: u32) {
@@ -1258,6 +1288,33 @@ mod tests {
         assert_eq!(summary.panes.last().unwrap().closed, 1);
         assert_eq!(summary.recent_windows.last().unwrap().state.closed, 1);
         assert!(summary.peak_state_bytes > 0);
+    }
+
+    #[test]
+    fn end_closes_populate_the_censored_duration_histogram() {
+        let summary = StreamingMonitor::new(go_ipfs_config(600)).ingest_log(&sample_log());
+        // Connection 2 was still open at the horizon → right-censored at
+        // 3 600 − 2 000 s. Connection 1 closed by event → uncensored.
+        assert_eq!(summary.censored_dur_hist, vec![(1_600_000, 1)]);
+        let censored: u64 = summary.censored_dur_hist.iter().map(|&(_, c)| c).sum();
+        // No MeasurementEnd closes in this log, so the censored count is
+        // exactly the open-at-finish remainder.
+        assert_eq!(censored, summary.connections - summary.closes_with_reason);
+        // The censored histogram is a sub-multiset of the combined one.
+        let combined = summary.combined_dur_hist();
+        for &(dur, count) in &summary.censored_dur_hist {
+            let total = combined.iter().find(|&&(d, _)| d == dur).map(|&(_, c)| c).unwrap_or(0);
+            assert!(count <= total, "censored {dur} ms exceeds the combined multiset");
+        }
+        // Bucketed mode censors into the same bucket edges as the direction
+        // stores, so the sub-multiset property survives bucketing.
+        let config = go_ipfs_config(600).with_duration_mode(DurationMode::LogBucketed);
+        let bucketed = StreamingMonitor::new(config).ingest_log(&sample_log());
+        let combined = bucketed.combined_dur_hist();
+        for &(dur, count) in &bucketed.censored_dur_hist {
+            let total = combined.iter().find(|&&(d, _)| d == dur).map(|&(_, c)| c).unwrap_or(0);
+            assert!(count <= total);
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ use netsim::GroundTruth;
 use population::{ChurnScenario, MeasurementPeriod, Scenario, ScenarioRun};
 
 /// The complete result of one multi-vantage measurement campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VantageCampaign {
     /// The scenario that was run (its `vantages` field is the vantage count).
     pub scenario: Scenario,

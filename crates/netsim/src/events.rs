@@ -432,6 +432,27 @@ impl GroundTruth {
             .collect()
     }
 
+    /// Number of distinct peers online at some point during `[from, to)` —
+    /// the estimand of a capture–recapture analysis whose occasions slice
+    /// exactly that span (`analysis::calibration`'s window histories): the
+    /// peers online when the span opens plus every later arrival inside it.
+    pub fn ever_online_within(&self, from: SimTime, to: SimTime) -> usize {
+        let mut seen: std::collections::BTreeSet<PeerId> =
+            self.online_at(from).into_iter().map(|(peer, _)| peer).collect();
+        for event in &self.events {
+            if event.at() >= to {
+                break;
+            }
+            if event.at() <= from {
+                continue;
+            }
+            if let GroundTruthEvent::PeerOnline { peer, .. } = event {
+                seen.insert(*peer);
+            }
+        }
+        seen.len()
+    }
+
     /// Total number of distinct peers in the population.
     pub fn population_size(&self) -> usize {
         self.peers.len()
@@ -583,5 +604,29 @@ mod tests {
 
         let at35 = gt.online_at(SimTime::from_secs(35));
         assert_eq!(at35, vec![(p2, true)]);
+    }
+
+    #[test]
+    fn ever_online_within_counts_residents_and_arrivals() {
+        let p1 = PeerId::derived(1);
+        let p2 = PeerId::derived(2);
+        let p3 = PeerId::derived(3);
+        let gt = GroundTruth {
+            peers: vec![(p1, true), (p2, false), (p3, false)],
+            events: vec![
+                GroundTruthEvent::PeerOnline { at: SimTime::from_secs(0), peer: p1 },
+                GroundTruthEvent::PeerOffline { at: SimTime::from_secs(8), peer: p1 },
+                GroundTruthEvent::PeerOnline { at: SimTime::from_secs(10), peer: p2 },
+                GroundTruthEvent::PeerOnline { at: SimTime::from_secs(40), peer: p3 },
+            ],
+        };
+        // [5, 20): p1 is resident at 5 (offline later, still counted), p2
+        // arrives inside the span, p3 arrives after it.
+        assert_eq!(gt.ever_online_within(SimTime::from_secs(5), SimTime::from_secs(20)), 2);
+        // The span end is exclusive; the start is a snapshot.
+        assert_eq!(gt.ever_online_within(SimTime::from_secs(5), SimTime::from_secs(40)), 2);
+        assert_eq!(gt.ever_online_within(SimTime::from_secs(5), SimTime::from_secs(41)), 3);
+        // After p1 leaves, only arrivals count.
+        assert_eq!(gt.ever_online_within(SimTime::from_secs(9), SimTime::from_secs(11)), 1);
     }
 }

@@ -43,20 +43,22 @@ pub use simclock;
 /// The most commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
     pub use analysis::{
-        agent_histogram, analyze_stream, analyze_vantages, chao1, classify_peers,
-        connection_count_cdf, connection_stats, connection_timeline, direction_stats,
-        fingerprint_groups, horizon_comparison, ip_grouping, lincoln_petersen, max_duration_cdf,
-        network_size_estimate, pid_growth, protocol_histogram, robustness_report, role_switches,
-        scenario_robustness, stream_estimates, stream_report, vantage_report, version_changes,
-        ConnectionClass, RobustnessReport, StreamAnalysis, StreamEstimates, StreamReport,
-        VantageAnalysis, VantageReport,
+        agent_histogram, analyze_stream, analyze_survival, analyze_vantages, calibration_report,
+        chao1, chao2, classify_peers, connection_count_cdf, connection_stats, connection_timeline,
+        direction_stats, fingerprint_groups, horizon_comparison, ip_grouping, jackknife1,
+        lincoln_petersen, max_duration_cdf, network_size_estimate, pid_growth, protocol_histogram,
+        robustness_report, robustness_row, role_switches, scenario_robustness, stream_estimates,
+        stream_report, survival_report, vantage_report, version_changes, window_bootstrap_seed,
+        CalibrationReport, CaptureHistory, ConnectionClass, EstimatorKind, RobustnessReport,
+        StreamAnalysis, StreamEstimates, StreamReport, SurvivalCurve, SurvivalReport,
+        VantageAnalysis, VantageReport, WINDOW_ESTIMATORS, WINDOW_OCCASIONS, WINDOW_SPAN_SECS,
     };
     pub use measurement::{
-        run_period, run_scenario, run_scenario_suite, run_stream_suite, run_streaming_campaign,
-        run_sweep, run_vantage_campaign, run_vantage_suite, ActiveCrawler, GoIpfsMonitor,
-        HydraMonitor, MeasurementCampaign, MeasurementDataset, ObserverTweak, StreamSummary,
-        StreamingCampaign, StreamingMonitor, SweepGrid, SweepReport, SweepRunner, VantageCampaign,
-        WindowState,
+        run_period, run_replicated_vantage_suite, run_scenario, run_scenario_suite,
+        run_stream_suite, run_streaming_campaign, run_sweep, run_vantage_campaign,
+        run_vantage_suite, ActiveCrawler, GoIpfsMonitor, HydraMonitor, MeasurementCampaign,
+        MeasurementDataset, ObserverTweak, ReplicateSuite, StreamSummary, StreamingCampaign,
+        StreamingMonitor, SweepGrid, SweepReport, SweepRunner, VantageCampaign, WindowState,
     };
     pub use netsim::{
         DhtRole, Network, NetworkConfig, ObserverSpec, PopulationAction, PopulationEvent,

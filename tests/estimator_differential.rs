@@ -1,0 +1,83 @@
+//! Differential tests for the estimator calibration lab
+//! (`analysis::calibration`).
+//!
+//! Two independent implementations must agree bit-for-bit:
+//!
+//! 1. **Single-vantage parity** — a one-vantage, one-replicate calibration
+//!    cell embeds a `RobustnessRow` built from the replicate's primary
+//!    dataset. Replicate 0 runs the base seed verbatim and a one-vantage
+//!    campaign is byte-identical to the single-monitor pipeline, so that
+//!    row must equal the row `analysis::robustness` derives from the
+//!    classic `run_scenario_suite` path — for every measurement period.
+//! 2. **Thread-count independence** — the calibration report (the
+//!    `repro estimators` stdout payload) must serialise identically at
+//!    1 and at 8 threads. Determinism comes from per-replicate seeds,
+//!    never from scheduling.
+
+use ipfs_passive_measurement::prelude::*;
+
+mod common;
+use common::{SCALE, SEED};
+
+/// One-vantage, one-replicate calibration rows equal the robustness rows
+/// of the classic scenario-suite pipeline, byte for byte, on every period.
+#[test]
+fn single_vantage_cells_match_the_robustness_pipeline() {
+    let scenarios = [ChurnScenario::Baseline];
+    for period in [
+        MeasurementPeriod::P0,
+        MeasurementPeriod::P1,
+        MeasurementPeriod::P2,
+        MeasurementPeriod::P3,
+        MeasurementPeriod::P4,
+    ] {
+        let suites = run_replicated_vantage_suite(period, SCALE, SEED, 1, &scenarios, 1, 1);
+        let report = calibration_report(&suites, &[], 0);
+        let cell = report.cell("baseline").expect("baseline cell");
+        assert_eq!(cell.single_vantage.len(), 1, "{period:?}: one replicate, one row");
+
+        let campaigns = run_scenario_suite(period, SCALE, SEED, &scenarios, 1);
+        let reference = robustness_report(&campaigns);
+        assert_eq!(reference.rows.len(), 1);
+
+        let calibration_json = cell.single_vantage[0].to_json().to_string_pretty();
+        let robustness_json = reference.rows[0].to_json().to_string_pretty();
+        assert_eq!(
+            calibration_json, robustness_json,
+            "{period:?}: calibration and robustness rows must be byte-identical"
+        );
+    }
+}
+
+/// The full calibration report — multi-vantage cells, bootstrap CIs,
+/// survival context and leaderboards — is byte-identical at 1 and at
+/// 8 threads.
+#[test]
+fn calibration_report_is_thread_count_independent() {
+    let scenarios = [ChurnScenario::Baseline, ChurnScenario::flash_crowd()];
+    let window = SimDuration::from_hours(6);
+    let run = |threads: usize| {
+        let suites = run_replicated_vantage_suite(
+            MeasurementPeriod::P1,
+            SCALE,
+            SEED,
+            3,
+            &scenarios,
+            2,
+            threads,
+        );
+        let streams = run_stream_suite(
+            MeasurementPeriod::P1,
+            SCALE,
+            SEED,
+            1,
+            window,
+            &scenarios,
+            threads,
+        );
+        calibration_report(&suites, &streams, 50).to_json_string_pretty()
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial, parallel, "calibration report must not depend on thread count");
+}

@@ -1,0 +1,139 @@
+//! Golden-dataset regression tests for the estimator calibration lab.
+//!
+//! Mirrors `golden_vantage`: P4 at SCALE = 0.005 with 3 vantage points and
+//! 2 seeded replicates under the flash-crowd and PID-rotation-flood regimes
+//! must reproduce the committed fixtures in `tests/golden/`
+//! *byte-identically*, at any thread count. Each fixture holds one
+//! scenario's full calibration report — replicate seeds, per-estimator
+//! bias/coverage/width, bootstrap CIs (50 resamples), the Kaplan–Meier
+//! survival context and the per-regime leaderboard — exactly what
+//! `repro estimators` emits, so any drift in the simulator, the replicate
+//! seeding, the capture histories, the bootstrap stream or the estimators
+//! fails loudly here.
+//!
+//! If a change intentionally alters simulation traces, regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_estimators` and review the
+//! diff like any other code change.
+
+use ipfs_passive_measurement::prelude::*;
+use jsonio::Json;
+use std::path::PathBuf;
+
+mod common;
+use common::{SCALE, SEED};
+
+const VANTAGES: usize = 3;
+const REPLICATES: usize = 2;
+const BOOTSTRAP: usize = 50;
+
+/// The regimes the fixtures pin (same pair as the vantage fixtures: the
+/// flood stresses PID inflation, the flash crowd stresses one-time noise).
+fn pinned_scenarios() -> Vec<ChurnScenario> {
+    vec![ChurnScenario::flash_crowd(), ChurnScenario::pid_rotation_flood()]
+}
+
+fn golden_path(scenario: &ChurnScenario) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("estimators_p4_s{SCALE}_{}.json", scenario.label()))
+}
+
+/// Builds and renders one scenario's calibration report.
+fn golden_string(scenario: &ChurnScenario, threads: usize) -> String {
+    let scenarios = [scenario.clone()];
+    let suites = run_replicated_vantage_suite(
+        MeasurementPeriod::P4,
+        SCALE,
+        SEED,
+        VANTAGES,
+        &scenarios,
+        REPLICATES,
+        threads,
+    );
+    let streams = run_stream_suite(
+        MeasurementPeriod::P4,
+        SCALE,
+        SEED,
+        1,
+        SimDuration::from_hours(6),
+        &scenarios,
+        threads,
+    );
+    let mut text = calibration_report(&suites, &streams, BOOTSTRAP).to_json_string_pretty();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn p4_calibration_reports_reproduce_the_committed_fixtures_at_any_thread_count() {
+    for scenario in pinned_scenarios() {
+        let rendered = golden_string(&scenario, 1);
+        assert_eq!(
+            rendered,
+            golden_string(&scenario, 2),
+            "{scenario}: 1-thread and 2-thread runs must be byte-identical"
+        );
+        let path = golden_path(&scenario);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+        }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_estimators",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            committed,
+            "{scenario}: output drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn fixtures_are_valid_json_with_the_documented_schema() {
+    for scenario in pinned_scenarios() {
+        let path = golden_path(&scenario);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            // The reproduction test reports the actionable error.
+            continue;
+        };
+        let json = Json::parse(&text).expect("fixture parses");
+        assert_eq!(json.str_field("period").unwrap(), "P4");
+        assert_eq!(json.u64_field("base_seed").unwrap(), SEED);
+        assert_eq!(json.u64_field("vantages").unwrap() as usize, VANTAGES);
+        assert_eq!(json.u64_field("replicates").unwrap() as usize, REPLICATES);
+        assert_eq!(json.u64_field("bootstrap").unwrap() as usize, BOOTSTRAP);
+        let cells = json.array_field("cells").expect("cells array");
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        assert_eq!(cell.str_field("scenario").unwrap(), scenario.label());
+        assert_eq!(cell.array_field("seeds").unwrap().len(), REPLICATES);
+        assert_eq!(cell.array_field("single_vantage").unwrap().len(), REPLICATES);
+        // All four capture–recapture estimators are calibrated and ranked.
+        let estimators = cell.array_field("estimators").unwrap();
+        assert_eq!(estimators.len(), 4);
+        for estimator in estimators {
+            assert!(estimator.field("signed_bias").is_ok());
+            assert!(estimator.field("coverage_self_analytic").is_ok());
+            assert!(estimator.field("coverage_self_bootstrap").is_ok());
+            assert!(estimator.field("mean_rel_width_analytic").is_ok());
+        }
+        assert_eq!(cell.array_field("leaderboard").unwrap().len(), 4);
+        // Window (time-sliced) cells: Chao family + jackknife, never LP.
+        assert_eq!(cell.u64_field("window_occasions").unwrap() as usize, WINDOW_OCCASIONS);
+        assert_eq!(cell.u64_field("window_span_secs").unwrap(), WINDOW_SPAN_SECS);
+        let window = cell.array_field("window_estimators").unwrap();
+        assert_eq!(window.len(), 3);
+        for estimator in window {
+            assert_ne!(estimator.str_field("estimator").unwrap(), "lincoln_petersen");
+        }
+        // The streaming campaign supplies the Kaplan–Meier context.
+        let survival = cell.field("survival").expect("survival object");
+        assert_eq!(survival.str_field("scenario").unwrap(), scenario.label());
+        assert!(survival.u64_field("censored").unwrap() > 0);
+    }
+}

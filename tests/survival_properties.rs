@@ -1,0 +1,144 @@
+//! Property tests for the Kaplan–Meier survival estimator
+//! (`analysis::survival`).
+//!
+//! Three layers:
+//!
+//! 1. **Seeded fuzz over synthetic censored multisets** — across many random
+//!    (uncensored, censored) run-length histograms, the KM curve must obey
+//!    the estimator's structural invariants: `S` starts from 1, is
+//!    non-increasing, stays in `[0, 1]`; the risk set walks down to zero;
+//!    Greenwood variances are finite and non-negative; the Nelson–Aalen
+//!    hazard is non-decreasing.
+//! 2. **Censoring-free degeneracy** — with no censoring, KM is the plain
+//!    empirical distribution, so its median must equal
+//!    `Summary::from_samples`' rank-interpolated median exactly (the
+//!    midpoint-quantile convention exists for precisely this property).
+//! 3. **Exact vs. log-bucketed campaigns** — one real campaign replayed
+//!    through the streaming engine in both duration-store modes must give
+//!    KM medians within one geometric bucket (×21/20) of each other, with
+//!    the bucketed value (bucket lower edges) never above the exact one.
+
+use ipfs_passive_measurement::prelude::*;
+use measurement::{run_streaming_built, DurationMode};
+use simclock::stats::Summary;
+
+mod common;
+use common::{SCALE, SEED};
+
+/// Builds an ascending run-length histogram from raw millisecond values.
+fn hist_of(values: &[u64]) -> Vec<(u64, u64)> {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let mut hist: Vec<(u64, u64)> = Vec::new();
+    for value in sorted {
+        match hist.last_mut() {
+            Some((v, count)) if *v == value => *count += 1,
+            _ => hist.push((value, 1)),
+        }
+    }
+    hist
+}
+
+#[test]
+fn fuzzed_curves_obey_the_kaplan_meier_invariants() {
+    let mut rng = SimRng::seed_from(0x50f2);
+    for round in 0..200 {
+        let n_events = rng.index(40);
+        let n_censored = rng.index(40);
+        let draw = |rng: &mut SimRng, n: usize| -> Vec<u64> {
+            (0..n).map(|_| rng.uniform_u64(0, 5_000)).collect()
+        };
+        let events = draw(&mut rng, n_events);
+        let censored = draw(&mut rng, n_censored);
+        let curve =
+            analysis::SurvivalCurve::from_hists(&hist_of(&events), &hist_of(&censored));
+
+        assert_eq!(curve.total, (n_events + n_censored) as u64, "round {round}");
+        assert_eq!(curve.deaths, n_events as u64);
+        assert_eq!(curve.censored, n_censored as u64);
+
+        let mut prev_survival = 1.0f64;
+        let mut prev_hazard = 0.0f64;
+        let mut expected_at_risk = curve.total;
+        for point in &curve.points {
+            assert!(
+                (0.0..=1.0).contains(&point.survival),
+                "round {round}: S out of range at t={}",
+                point.time_ms
+            );
+            assert!(
+                point.survival <= prev_survival + 1e-12,
+                "round {round}: S must be non-increasing"
+            );
+            assert!(point.cum_hazard + 1e-12 >= prev_hazard, "round {round}: H non-decreasing");
+            assert!(point.variance.is_finite() && point.variance >= 0.0);
+            assert_eq!(point.at_risk, expected_at_risk, "round {round}: risk-set bookkeeping");
+            let (low, high) = point.ci95();
+            assert!(low <= point.survival && point.survival <= high);
+            expected_at_risk -= point.deaths + point.censored;
+            prev_survival = point.survival;
+            prev_hazard = point.cum_hazard;
+        }
+        assert_eq!(expected_at_risk, 0, "round {round}: every observation leaves the risk set");
+        // With no censoring the curve must end at S = 0.
+        if n_censored == 0 && n_events > 0 {
+            let last = curve.points.last().unwrap();
+            assert!(last.survival.abs() < 1e-12, "round {round}: censoring-free curves hit 0");
+        }
+    }
+}
+
+#[test]
+fn censoring_free_km_median_matches_rank_interpolation() {
+    let mut rng = SimRng::seed_from(0xced);
+    for round in 0..100 {
+        let n = 1 + rng.index(60);
+        let values: Vec<u64> = (0..n).map(|_| rng.uniform_u64(1, 100_000)).collect();
+        let curve = analysis::SurvivalCurve::from_hists(&hist_of(&values), &[]);
+        let samples: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let summary = Summary::from_samples(&samples);
+        let km_median_ms = curve.median_secs().expect("censoring-free curve reaches 0.5") * 1000.0;
+        assert!(
+            (km_median_ms - summary.median).abs() < 1e-6,
+            "round {round} (n={n}): KM median {km_median_ms} ms vs rank-interpolated {} ms",
+            summary.median
+        );
+    }
+}
+
+#[test]
+fn exact_and_bucketed_campaign_medians_agree_within_one_bucket() {
+    let scenario = Scenario::new(MeasurementPeriod::P2)
+        .with_scale(SCALE)
+        .with_seed(SEED);
+    let window = SimDuration::from_hours(6);
+    let exact = run_streaming_built(scenario.clone().build(), window, DurationMode::Exact);
+    let bucketed = run_streaming_built(scenario.build(), window, DurationMode::LogBucketed);
+
+    let exact_analysis = analyze_survival(&exact);
+    let bucketed_analysis = analyze_survival(&bucketed);
+    assert_eq!(exact_analysis.duration_mode, "Exact");
+    assert_eq!(bucketed_analysis.duration_mode, "LogBucketed");
+    // Same sessions, same censoring — only the duration resolution differs.
+    assert_eq!(exact_analysis.curve.total, bucketed_analysis.curve.total);
+    assert_eq!(exact_analysis.curve.deaths, bucketed_analysis.curve.deaths);
+    assert_eq!(exact_analysis.curve.censored, bucketed_analysis.curve.censored);
+    assert!(exact_analysis.curve.censored > 0, "the horizon right-censors open sessions");
+
+    for p in [0.25, 0.5, 0.75] {
+        let exact_q = exact_analysis.curve.quantile_secs(p).expect("exact quantile");
+        let bucketed_q = bucketed_analysis.curve.quantile_secs(p).expect("bucketed quantile");
+        // Bucketed durations are bucket *lower* edges, so bucketed quantiles
+        // sit at or below the exact ones…
+        assert!(
+            bucketed_q <= exact_q + 1e-9,
+            "p={p}: bucketed {bucketed_q} s above exact {exact_q} s"
+        );
+        // …and within one geometric bucket (×21/20, i.e. 5 %) plus the
+        // 1 ms integer-edge slack.
+        assert!(
+            exact_q - bucketed_q <= exact_q / 20.0 + 0.002,
+            "p={p}: bucketed {bucketed_q} s more than one bucket below exact {exact_q} s"
+        );
+    }
+}
