@@ -111,14 +111,30 @@ mod tests {
                 HorizonEntry { client: "go-ipfs".into(), total_pids: 100, dht_server_pids: 40 },
                 HorizonEntry { client: "hydra-union".into(), total_pids: 120, dht_server_pids: 55 },
             ],
-            crawler: CrawlSummary { crawls: 3, min_servers: 30, max_servers: 50, distinct_servers: 60 },
+            crawler: CrawlSummary {
+                crawls: 3,
+                min_servers: 30,
+                max_servers: 50,
+                distinct_servers: 60,
+                total_lookups: 48,
+                total_queries: 150,
+                mean_recall: 0.95,
+            },
             population: 200,
         };
         assert_eq!(comparison.best_passive_server_count(), 55);
         assert!(comparison.passive_covers_crawler());
 
         let weaker = HorizonComparison {
-            crawler: CrawlSummary { crawls: 3, min_servers: 30, max_servers: 70, distinct_servers: 80 },
+            crawler: CrawlSummary {
+                crawls: 3,
+                min_servers: 30,
+                max_servers: 70,
+                distinct_servers: 80,
+                total_lookups: 48,
+                total_queries: 150,
+                mean_recall: 0.95,
+            },
             ..comparison
         };
         assert!(!weaker.passive_covers_crawler());

@@ -10,7 +10,7 @@
 //! | [`timeline`] | Fig. 5 (simultaneous connections over 24 h), Fig. 6 (PIDs over time, ≥3 d disconnected) |
 //! | [`cdf`] | Fig. 7 — CDFs of max connection duration and of connections per PID |
 //! | [`netsize`] | Section V — IP-address grouping, Table IV peer classification, network-size estimates |
-//! | [`robustness`] | Estimator error under adversarial churn scenarios (diurnal waves, flash crowds, PID floods, NAT churn) |
+//! | [`robustness`] | Estimator error under adversarial churn scenarios (diurnal waves, flash crowds, PID floods, NAT churn), plus the crawler-vs-monitor disagreement report for DHT-level attacks (Sybil floods, eclipses, table poisoning) |
 //! | [`vantage`] | Multi-vantage horizons, pairwise overlap matrices and Lincoln–Petersen / Chao1 / Chao2 / jackknife capture–recapture network-size estimates |
 //! | [`stream`] | Batch-identical estimates plus per-window time series from the single-pass streaming engine (`measurement::stream`) |
 //! | [`survival`] | Kaplan–Meier / Nelson–Aalen session-duration estimation under right-censoring (§IV churn, horizon-aware) |
@@ -55,8 +55,9 @@ pub use metadata::{
 };
 pub use netsize::{classify_peers, ip_grouping, network_size_estimate, ConnectionClass, IpGrouping, NetworkSizeEstimate, PeerClassification};
 pub use robustness::{
-    robustness_report, robustness_row, scenario_robustness, EstimatorError, RobustnessReport,
-    RobustnessRow,
+    crawl_disagreement_report, crawl_disagreement_row, robustness_report, robustness_row,
+    scenario_robustness, CrawlDisagreementReport, CrawlDisagreementRow, EstimatorError,
+    RobustnessReport, RobustnessRow,
 };
 pub use stream::{
     analyze_stream, hist_summary, stream_capture_rows, stream_classify_peers,

@@ -18,6 +18,15 @@
 //! scenario from `measurement::run_scenario_suite`) into a
 //! [`RobustnessReport`] with per-scenario signed relative errors, exported
 //! as deterministic JSON by the `repro scenarios` CLI subcommand.
+//!
+//! [`crawl_disagreement_report`] covers the *other* vantage: the DHT-level
+//! adversaries (`ChurnScenario::adversaries`) are silent towards the
+//! passive monitors but skew the routing tables the active crawler walks.
+//! Its rows put each campaign's measured crawl recall next to the passive
+//! PID horizon, so an attacked cell shows up as a crawler/monitor
+//! disagreement — depressed recall, inflated adversarial discoveries,
+//! truncated crawls — while the passive columns stay at their baseline
+//! values. Exported by the `repro crawl` CLI subcommand.
 
 use crate::netsize::{classify_peers, network_size_estimate, ConnectionClass};
 use crate::report;
@@ -244,6 +253,174 @@ impl RobustnessReport {
     }
 }
 
+/// Crawler-vs-monitor comparison of one campaign (one scenario × period ×
+/// scale × seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrawlDisagreementRow {
+    /// Churn-scenario label (`"baseline"`, `"sybil"`, `"poison"`, …).
+    pub scenario: String,
+    /// Measurement-period label.
+    pub period: String,
+    /// Population scale.
+    pub scale: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Number of crawls in the campaign.
+    pub crawls: usize,
+    /// Mean per-crawl recall against the honest online-server ground truth.
+    pub mean_recall: f64,
+    /// Worst per-crawl recall.
+    pub min_recall: f64,
+    /// Best per-crawl recall.
+    pub max_recall: f64,
+    /// Distinct honest server PIDs found across all crawls.
+    pub crawler_distinct: usize,
+    /// Adversarial identities that answered crawls, summed over the series
+    /// (0 in benign campaigns).
+    pub adversarial_found: usize,
+    /// Iterative lookups issued across all crawls.
+    pub lookups: usize,
+    /// First-contact queries across all crawls.
+    pub queries: usize,
+    /// Crawls cut short by the time budget (table poisoning shows up here).
+    pub truncated_crawls: usize,
+    /// Total PIDs in the primary passive monitor's historic view.
+    pub passive_pids: usize,
+    /// DHT-Server PIDs in the primary passive monitor's historic view.
+    pub passive_server_pids: usize,
+}
+
+impl CrawlDisagreementRow {
+    /// Renders the row as a [`Json`] object — the exact per-row shape of
+    /// [`CrawlDisagreementReport::to_json`].
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("scenario", self.scenario.as_str());
+        obj.insert("period", self.period.as_str());
+        obj.insert("scale", self.scale);
+        obj.insert("seed", self.seed);
+        obj.insert("crawls", self.crawls);
+        obj.insert("mean_recall", self.mean_recall);
+        obj.insert("min_recall", self.min_recall);
+        obj.insert("max_recall", self.max_recall);
+        obj.insert("crawler_distinct", self.crawler_distinct);
+        obj.insert("adversarial_found", self.adversarial_found);
+        obj.insert("lookups", self.lookups);
+        obj.insert("queries", self.queries);
+        obj.insert("truncated_crawls", self.truncated_crawls);
+        obj.insert("passive_pids", self.passive_pids);
+        obj.insert("passive_server_pids", self.passive_server_pids);
+        obj
+    }
+}
+
+/// Computes the crawl-disagreement row of one finished campaign.
+pub fn crawl_disagreement_row(campaign: &MeasurementCampaign) -> CrawlDisagreementRow {
+    let recalls: Vec<f64> = campaign.crawls.iter().map(|c| c.recall()).collect();
+    let primary = campaign.primary();
+    CrawlDisagreementRow {
+        scenario: campaign.scenario.churn.label().to_string(),
+        period: campaign.scenario.period.label().to_string(),
+        scale: campaign.scenario.scale,
+        seed: campaign.scenario.seed,
+        crawls: campaign.crawls.len(),
+        mean_recall: campaign.crawl_summary.mean_recall,
+        min_recall: if recalls.is_empty() {
+            0.0
+        } else {
+            recalls.iter().copied().fold(f64::INFINITY, f64::min)
+        },
+        max_recall: recalls.iter().copied().fold(0.0, f64::max),
+        crawler_distinct: campaign.crawl_summary.distinct_servers,
+        adversarial_found: campaign.crawls.iter().map(|c| c.adversarial_found).sum(),
+        lookups: campaign.crawl_summary.total_lookups,
+        queries: campaign.crawl_summary.total_queries,
+        truncated_crawls: campaign.crawls.iter().filter(|c| c.truncated).count(),
+        passive_pids: primary.pid_count(),
+        passive_server_pids: primary.dht_server_pid_count(),
+    }
+}
+
+/// Crawler-vs-monitor disagreement across a suite of campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrawlDisagreementReport {
+    /// One row per campaign, in input order.
+    pub rows: Vec<CrawlDisagreementRow>,
+}
+
+/// Computes the crawl-disagreement report of a scenario suite (one row per
+/// campaign, preserving the input order).
+pub fn crawl_disagreement_report(campaigns: &[MeasurementCampaign]) -> CrawlDisagreementReport {
+    CrawlDisagreementReport {
+        rows: campaigns.iter().map(crawl_disagreement_row).collect(),
+    }
+}
+
+impl CrawlDisagreementReport {
+    /// Looks up the row of a scenario by label.
+    pub fn row(&self, scenario: &str) -> Option<&CrawlDisagreementRow> {
+        self.rows.iter().find(|r| r.scenario == scenario)
+    }
+
+    /// Renders the report as a [`Json`] value. The output contains nothing
+    /// execution-dependent, so the same campaigns always yield the same
+    /// document.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert(
+            "rows",
+            Json::Array(self.rows.iter().map(|r| r.to_json()).collect()),
+        );
+        obj
+    }
+
+    /// Serialises to compact JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Serialises to pretty-printed JSON.
+    pub fn to_json_string_pretty(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Renders the rows as an aligned text table (recall as percentages).
+    pub fn summary_table(&self) -> String {
+        let pct = |r: f64| format!("{:.0}%", r * 100.0);
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.scenario.clone(),
+                    row.period.clone(),
+                    row.crawls.to_string(),
+                    pct(row.mean_recall),
+                    pct(row.min_recall),
+                    row.crawler_distinct.to_string(),
+                    row.adversarial_found.to_string(),
+                    row.truncated_crawls.to_string(),
+                    row.passive_server_pids.to_string(),
+                ]
+            })
+            .collect();
+        report::text_table(
+            &[
+                "Scenario",
+                "Period",
+                "Crawls",
+                "Recall",
+                "MinRecall",
+                "Distinct",
+                "AdvFound",
+                "Truncated",
+                "PassiveSrv",
+            ],
+            &rows,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +468,37 @@ mod tests {
             assert!(row.by_ip_groups.estimate <= row.by_pids.estimate);
             assert!(row.core_lower_bound.estimate <= row.by_ip_groups.estimate);
         }
+    }
+
+    #[test]
+    fn crawl_disagreement_separates_the_vantages() {
+        let scenarios = vec![ChurnScenario::Baseline, ChurnScenario::table_poison()];
+        let campaigns = run_scenario_suite(MeasurementPeriod::P4, 0.004, 5, &scenarios, 2);
+        let report = crawl_disagreement_report(&campaigns);
+        assert_eq!(report.rows.len(), 2);
+        let baseline = report.row("baseline").unwrap();
+        let poison = report.row("poison").unwrap();
+        assert_eq!(baseline.adversarial_found, 0);
+        assert!(poison.adversarial_found > 0, "poisoners answer crawls");
+        assert!(
+            poison.mean_recall <= baseline.mean_recall,
+            "poisoning cannot improve crawler recall ({} vs {})",
+            poison.mean_recall,
+            baseline.mean_recall
+        );
+        // The attack lives entirely in the DHT layer: the passive monitors
+        // record the exact same horizon in both campaigns.
+        assert_eq!(poison.passive_pids, baseline.passive_pids);
+        assert_eq!(poison.passive_server_pids, baseline.passive_server_pids);
+        for row in &report.rows {
+            assert!(row.min_recall <= row.mean_recall && row.mean_recall <= row.max_recall);
+            assert!(row.crawls > 0);
+        }
+        let json = Json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(json.array_field("rows").unwrap().len(), 2);
+        let table = report.summary_table();
+        assert!(table.contains("poison"));
+        assert!(table.contains('%'));
     }
 
     #[test]

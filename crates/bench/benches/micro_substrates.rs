@@ -29,6 +29,18 @@ fn bench_routing_table(c: &mut Criterion) {
     c.bench_function("micro/routing_table_closest_20", |b| {
         b.iter(|| black_box(table.closest(&PeerId::derived(42), 20)))
     });
+    // The crawler dumps tables with many targets per candidate, so the
+    // select-then-sort top-k path is on its hot loop; sweep the target to
+    // exercise different bucket shapes.
+    c.bench_function("micro/routing_table_closest_20_x100_targets", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for t in 0..100u64 {
+                total += table.closest(&PeerId::derived(t), 20).len();
+            }
+            black_box(total)
+        })
+    });
 }
 
 fn bench_connmgr(c: &mut Criterion) {

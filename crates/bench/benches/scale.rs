@@ -20,7 +20,7 @@ fn shard_network(cfg: &ScaleConfig) -> Network {
         ConnLimits::new((population.len() / 8).max(64), (population.len() / 4).max(128)),
     );
     let config = NetworkConfig::single_observer(cfg.shard_seed(0), cfg.duration, observer);
-    Network::new(config, population)
+    Network::new(config, population).with_dht_tracking(false)
 }
 
 fn bench_engine_throughput(c: &mut Criterion) {

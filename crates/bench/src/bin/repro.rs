@@ -79,7 +79,19 @@
 //!     --scenarios baseline,flashcrowd,pidflood --vantages 3 --bootstrap 200 --threads 8
 //! ```
 //!
-//! Sweep, scenario, vantage, scale, stream and estimators stdout is deterministic: the same configuration
+//! The `crawl` subcommand runs one period under the baseline and the
+//! DHT-level adversaries (Sybil flood, eclipse, table poisoning) and emits
+//! the crawler-vs-monitor disagreement report of `analysis::robustness` as
+//! JSON on stdout — per-scenario measured crawl recall, adversarial
+//! discoveries and truncated crawls next to the (unchanged) passive PID
+//! horizon — with the timing-annotated copy written to `BENCH_crawl.json`:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro -- crawl --period P4 --scale 0.005
+//! cargo run --release -p bench --bin repro -- crawl --scenarios baseline,poison --threads 8
+//! ```
+//!
+//! Sweep, scenario, vantage, scale, stream, estimators and crawl stdout is deterministic: the same configuration
 //! produces byte-identical JSON regardless of `--threads` (timing numbers go
 //! to the `BENCH_*.json` files and stderr only).
 //!
@@ -170,6 +182,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("estimators") {
         run_estimators_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("crawl") {
+        run_crawl_command(&args[1..]);
         return;
     }
     let options = parse_args();
@@ -502,7 +518,7 @@ fn parse_scenarios(spec: &str) -> Vec<ChurnScenario> {
             ChurnScenario::from_label(label.trim()).unwrap_or_else(|| {
                 eprintln!(
                     "unknown scenario {label:?} (expected baseline, diurnal, flashcrowd, \
-                     massexit, pidflood or natchurn)"
+                     massexit, pidflood, natchurn, sybil, eclipse or poison)"
                 );
                 std::process::exit(2);
             })
@@ -1078,6 +1094,125 @@ fn run_estimators_command(args: &[String]) {
         println!("{}", report.deterministic_json().to_string_pretty());
     } else {
         println!("{}", report.deterministic_json().to_string_compact());
+    }
+}
+
+// ---- the `crawl` subcommand ------------------------------------------------
+
+fn crawl_usage() -> ! {
+    eprintln!(
+        "usage: repro crawl [--period P4] [--scale 0.005] [--seed N] \
+         [--scenarios baseline,sybil,eclipse,poison] \
+         [--threads N] [--pretty] [--no-table] \
+         [--out BENCH_crawl.json] [--no-file]"
+    );
+    std::process::exit(2);
+}
+
+fn run_crawl_command(args: &[String]) {
+    let mut period = MeasurementPeriod::P4;
+    let mut scale: f64 = 0.005;
+    let mut seed = 1975u64;
+    let mut scenarios = {
+        let mut list = vec![ChurnScenario::Baseline];
+        list.extend(ChurnScenario::adversaries());
+        list
+    };
+    let mut threads: Option<usize> = None;
+    let mut pretty = false;
+    let mut table = true;
+    let mut out_path = String::from("BENCH_crawl.json");
+    let mut write_file = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| crawl_usage())
+        };
+        match args[i].as_str() {
+            "--period" => {
+                period = MeasurementPeriod::from_label(take(i)).unwrap_or_else(|| {
+                    eprintln!("unknown period {:?} (expected P0..P4 or P14d)", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--scale" => {
+                scale = take(i).parse().unwrap_or_else(|_| crawl_usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = take(i).parse().unwrap_or_else(|_| crawl_usage());
+                i += 2;
+            }
+            "--scenarios" => {
+                scenarios = parse_scenarios(take(i));
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(take(i).parse().unwrap_or_else(|_| crawl_usage()));
+                i += 2;
+            }
+            "--pretty" => {
+                pretty = true;
+                i += 1;
+            }
+            "--no-table" => {
+                table = false;
+                i += 1;
+            }
+            "--out" => {
+                out_path = take(i).to_string();
+                i += 2;
+            }
+            "--no-file" => {
+                write_file = false;
+                i += 1;
+            }
+            _ => crawl_usage(),
+        }
+    }
+    if scenarios.is_empty() || !scale.is_finite() || scale <= 0.0 {
+        crawl_usage();
+    }
+
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    eprintln!(
+        "# crawl: {} on {period} at scale {scale}, seed {seed}",
+        scenarios
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let started = std::time::Instant::now();
+    let campaigns = run_scenario_suite(period, scale, seed, &scenarios, threads);
+    let report = analysis::crawl_disagreement_report(&campaigns);
+    let elapsed = started.elapsed();
+    eprintln!("# crawl finished in {elapsed:.1?}");
+    if table {
+        eprintln!("\n{}", report.summary_table());
+    }
+    if write_file {
+        let mut full = jsonio::Json::object();
+        full.insert("elapsed_secs", elapsed.as_secs_f64());
+        full.insert("report", report.to_json());
+        let mut text = full.to_string_pretty();
+        text.push('\n');
+        if let Err(error) = std::fs::write(&out_path, text) {
+            eprintln!("failed to write {out_path}: {error}");
+            std::process::exit(1);
+        }
+        eprintln!("# full report (with timing) written to {out_path}");
+    }
+    // stdout carries only deterministic fields, so runs at different thread
+    // counts can be compared byte-for-byte.
+    if pretty {
+        println!("{}", report.to_json_string_pretty());
+    } else {
+        println!("{}", report.to_json_string());
     }
 }
 

@@ -321,7 +321,9 @@ fn shard_network(cfg: &ScaleConfig, shard: usize) -> Network {
         cfg.duration,
         shard_observer(population.len()),
     );
-    Network::new(config, population)
+    // The scale harness measures raw observation throughput; synthesising a
+    // million routing tables is not part of that budget.
+    Network::new(config, population).with_dht_tracking(false)
 }
 
 /// Runs one shard and extracts its deterministic result.

@@ -115,8 +115,12 @@ pub fn campaign_from_output(
     };
 
     let crawler = ActiveCrawler::new();
-    let (crawls, crawl_summary) =
-        crawler.crawl_summary(&output.ground_truth, SimTime::ZERO, SimTime::ZERO + duration);
+    let (crawls, crawl_summary) = crawler.crawl_summary(
+        &output.dht,
+        &output.ground_truth,
+        SimTime::ZERO,
+        SimTime::ZERO + duration,
+    );
 
     MeasurementCampaign {
         scenario,
@@ -176,9 +180,10 @@ mod tests {
         assert!(campaign.hydra_union.is_some());
         assert_eq!(campaign.passive_datasets().len(), 3);
         assert_eq!(campaign.primary().client, "go-ipfs");
-        // The crawler runs every 8 h over a 1-day period → 3 crawls.
-        assert_eq!(campaign.crawls.len(), 3);
-        assert_eq!(campaign.crawl_summary.crawls, 3);
+        // The crawler runs every 8 h over a 1-day period, starting at the
+        // start of the run → crawls at 0, 8, 16 and 24 h.
+        assert_eq!(campaign.crawls.len(), 4);
+        assert_eq!(campaign.crawl_summary.crawls, 4);
     }
 
     #[test]

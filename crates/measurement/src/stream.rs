@@ -1162,6 +1162,7 @@ pub fn run_streaming_built(
         ground_truth: sink_run.ground_truth,
         registry: sink_run.registry,
         ended_at: sink_run.ended_at,
+        dht: sink_run.dht,
     }
     .into_output(&observers);
     let batch = campaign_from_output(scenario, ground_truth_participants, duration, output);

@@ -21,6 +21,7 @@
 //! observers costs `k` column appends instead of `k` deep payload clones.
 
 use crate::config::{NetworkConfig, ObserverSpec};
+use crate::dht::{DhtLog, DhtTracker};
 use crate::events::{GroundTruth, GroundTruthEvent, ObserverLog};
 use crate::obs::{IdentifyRegistry, ObservationSink, ObservationTable};
 use crate::spec::{MetadataChange, PopulationAction, PopulationEvent, RemotePeerSpec};
@@ -38,13 +39,16 @@ pub struct SimulationOutput {
     pub logs: Vec<ObserverLog>,
     /// Ground truth of the simulated network.
     pub ground_truth: GroundTruth,
+    /// Routing-table membership history of the run (empty if tracking was
+    /// disabled via [`Network::with_dht_tracking`]).
+    pub dht: DhtLog,
     /// Observer name → index into `logs`, built once at construction so
     /// [`Self::log`] is a map lookup instead of a linear name scan.
     by_name: HashMap<String, usize>,
 }
 
 impl SimulationOutput {
-    fn new(logs: Vec<ObserverLog>, ground_truth: GroundTruth) -> Self {
+    fn new(logs: Vec<ObserverLog>, ground_truth: GroundTruth, dht: DhtLog) -> Self {
         let mut by_name = HashMap::with_capacity(logs.len());
         for (idx, log) in logs.iter().enumerate() {
             // First-wins on duplicate names, matching the linear scan this
@@ -54,15 +58,17 @@ impl SimulationOutput {
         SimulationOutput {
             logs,
             ground_truth,
+            dht,
             by_name,
         }
     }
 
     /// Assembles a simulation output from externally built logs (the tee
     /// pipelines that run [`Network::run_with_sinks`] and re-create the logs
-    /// with [`ObserverLog::from_columns`]) plus the run's ground truth.
-    pub fn from_logs(logs: Vec<ObserverLog>, ground_truth: GroundTruth) -> Self {
-        SimulationOutput::new(logs, ground_truth)
+    /// with [`ObserverLog::from_columns`]) plus the run's ground truth and
+    /// DHT log.
+    pub fn from_logs(logs: Vec<ObserverLog>, ground_truth: GroundTruth, dht: DhtLog) -> Self {
+        SimulationOutput::new(logs, ground_truth, dht)
     }
 
     /// Looks up an observer log by name.
@@ -82,6 +88,8 @@ pub struct SinkRun<S> {
     pub sinks: Vec<S>,
     /// Ground truth of the simulated network.
     pub ground_truth: GroundTruth,
+    /// Routing-table membership history of the run.
+    pub dht: DhtLog,
     /// The interning registry of the run.
     pub registry: IdentifyRegistry,
     /// When the run ended.
@@ -121,7 +129,7 @@ impl SinkRun<ObservationTable> {
                 )
             })
             .collect();
-        SimulationOutput::new(logs, self.ground_truth)
+        SimulationOutput::new(logs, self.ground_truth, self.dht)
     }
 }
 
@@ -248,6 +256,7 @@ pub struct Network {
     config: NetworkConfig,
     peers: Vec<RemotePeerSpec>,
     population_events: Vec<PopulationEvent>,
+    dht_tracking: bool,
 }
 
 impl Network {
@@ -257,7 +266,17 @@ impl Network {
             config,
             peers,
             population_events: Vec::new(),
+            dht_tracking: true,
         }
+    }
+
+    /// Enables or disables routing-table tracking (on by default). The
+    /// tracker consumes no engine randomness, so toggling it never changes
+    /// the observation logs — the scale harness turns it off to measure pure
+    /// engine throughput at million-peer populations.
+    pub fn with_dht_tracking(mut self, enabled: bool) -> Self {
+        self.dht_tracking = enabled;
+        self
     }
 
     /// Adds a scripted stream of mid-run population mutations (scenario
@@ -304,7 +323,14 @@ impl Network {
             self.config.observers.len(),
             "one sink per configured observer"
         );
-        Runner::new(self.config, self.peers, self.population_events, sinks).run()
+        Runner::new(
+            self.config,
+            self.peers,
+            self.population_events,
+            sinks,
+            self.dht_tracking,
+        )
+        .run()
     }
 }
 
@@ -318,6 +344,7 @@ struct Runner<S> {
     observers: Vec<ObserverState<S>>,
     online_servers: OnlineServers,
     ground_truth: GroundTruth,
+    dht: DhtTracker,
     population_events: Vec<PopulationEvent>,
     registry: IdentifyRegistry,
     next_conn_id: u64,
@@ -329,6 +356,7 @@ impl<S: ObservationSink> Runner<S> {
         peers: Vec<RemotePeerSpec>,
         population_events: Vec<PopulationEvent>,
         sinks: Vec<S>,
+        dht_tracking: bool,
     ) -> Self {
         let end = config.end_time();
         let rng = SimRng::seed_from(config.seed);
@@ -380,6 +408,23 @@ impl<S: ObservationSink> Runner<S> {
             events: Vec::with_capacity(peers.len() * 2),
         };
         let population = peers.len();
+        let mut dht = if dht_tracking {
+            DhtTracker::new(p2pmodel::kademlia::DEFAULT_BUCKET_SIZE)
+        } else {
+            DhtTracker::disabled()
+        };
+        for spec in &peers {
+            if !spec.dht_conduct.is_honest() {
+                dht.set_conduct(spec.peer_id, spec.dht_conduct);
+            }
+        }
+        // Server observers are the network's bootstrap peers: online from
+        // time zero, and every crawl seeds its candidate set there.
+        for spec in &config.observers {
+            if spec.role.is_server() {
+                dht.register_bootstrap(spec.peer_id);
+            }
+        }
         Runner {
             end,
             rng,
@@ -390,6 +435,7 @@ impl<S: ObservationSink> Runner<S> {
             observers,
             online_servers: OnlineServers::with_capacity(population),
             ground_truth,
+            dht,
             population_events,
             registry,
             next_conn_id: 0,
@@ -486,7 +532,13 @@ impl<S: ObservationSink> Runner<S> {
             peer: self.peers[peer].peer_id,
         });
         if self.peer_states[peer].is_server {
-            self.online_servers.insert(peer);
+            // Non-honest peers squat the DHT but refuse swarm connections:
+            // they never enter the observers' maintenance-dial pool, so the
+            // passive view stays byte-identical under DHT-level attacks.
+            if self.peers[peer].dht_conduct.is_honest() {
+                self.online_servers.insert(peer);
+            }
+            self.dht.server_up(now, self.peers[peer].peer_id);
         }
         if let Some(end) = self.peer_states[peer].next_session_end {
             self.queue.schedule(end, SimEvent::PeerOffline(peer));
@@ -517,6 +569,10 @@ impl<S: ObservationSink> Runner<S> {
         }
         self.peer_states[peer].online = false;
         self.online_servers.remove(peer);
+        // Departure first drops the peer's own table and evicts it from every
+        // table that holds it; the connection closes below then find nothing
+        // left to evict.
+        self.dht.server_down(now, self.peers[peer].peer_id);
         self.ground_truth.events.push(GroundTruthEvent::PeerOffline {
             at: now,
             peer: self.peers[peer].peer_id,
@@ -565,6 +621,9 @@ impl<S: ObservationSink> Runner<S> {
     fn admit_peers(&mut self, now: SimTime, specs: Vec<RemotePeerSpec>) {
         for spec in specs {
             let idx = self.peers.len();
+            if !spec.dht_conduct.is_honest() {
+                self.dht.set_conduct(spec.peer_id, spec.dht_conduct);
+            }
             self.ground_truth.peers.push((spec.peer_id, spec.is_dht_server()));
             self.peer_index.insert(spec.peer_id, idx);
             let (start, session_end) = spec.session.first_session(&mut self.rng);
@@ -719,9 +778,13 @@ impl<S: ObservationSink> Runner<S> {
             });
             if self.peer_states[peer].online {
                 if is_server {
-                    self.online_servers.insert(peer);
+                    if self.peers[peer].dht_conduct.is_honest() {
+                        self.online_servers.insert(peer);
+                    }
+                    self.dht.server_up(now, self.peers[peer].peer_id);
                 } else {
                     self.online_servers.remove(peer);
+                    self.dht.server_down(now, self.peers[peer].peer_id);
                 }
             }
         }
@@ -745,6 +808,13 @@ impl<S: ObservationSink> Runner<S> {
         let addr_id = self.peer_states[peer].addr_id;
         let slot = self.peer_states[peer].slot;
         self.observers[observer].sink.peer_discovered(now, slot, addr_id);
+        // Routing gossip carries the peer into the observer's own table (it
+        // may be a stale entry if the peer is offline — exactly the staleness
+        // a real crawler has to dial through).
+        if self.peer_states[peer].is_server {
+            let observer_id = self.observers[observer].spec.peer_id;
+            self.dht.admit(now, observer_id, self.peers[peer].peer_id);
+        }
     }
 
     fn open_connection(&mut self, now: SimTime, observer: usize, peer: usize, direction: Direction) {
@@ -775,6 +845,12 @@ impl<S: ObservationSink> Runner<S> {
         obs.connmgr.tag(conn, value);
         if direction == Direction::Outbound {
             obs.connmgr.protect(conn);
+        }
+
+        // A dial is how the observer learns the peer is a live DHT contact.
+        if self.peer_states[peer].is_server {
+            let observer_id = self.observers[observer].spec.peer_id;
+            self.dht.admit(now, observer_id, peer_id);
         }
 
         // Identify exchange.
@@ -822,6 +898,11 @@ impl<S: ObservationSink> Runner<S> {
         obs.connmgr.untrack(conn);
         let slot = self.peer_states[peer].slot;
         obs.sink.connection_closed(now, conn, slot, reason);
+        // Losing the connection drops the peer from the observer's table —
+        // go-ipfs evicts disconnected contacts on the next bucket refresh.
+        let observer_id = self.observers[observer].spec.peer_id;
+        self.dht
+            .evict(now, observer_id, self.peers[peer].peer_id);
 
         // Only the remote side re-establishes *inbound* connections; lost
         // outbound connections are replaced by the observer's own maintenance
@@ -858,6 +939,7 @@ impl<S: ObservationSink> Runner<S> {
         SinkRun {
             sinks: self.observers.into_iter().map(|obs| obs.sink).collect(),
             ground_truth: self.ground_truth,
+            dht: self.dht.into_log(),
             registry: self.registry,
             ended_at: end,
         }

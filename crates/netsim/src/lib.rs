@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dht;
 pub mod engine;
 pub mod events;
 pub mod obs;
 pub mod spec;
 
 pub use config::{DhtRole, NetworkConfig, ObserverSpec};
+pub use dht::{dht_log_from_ground_truth, DhtConduct, DhtEvent, DhtLog, DhtReplay, DhtTracker, DhtView};
 pub use engine::{Network, SimulationOutput, SinkRun};
 pub use events::{GroundTruth, GroundTruthEvent, ObservedEvent, ObserverLog};
 pub use obs::{

@@ -7,6 +7,7 @@
 //! peer, calibrated so the aggregate matches the composition the paper
 //! reports (agents, protocols, churn classes, hydra co-location, …).
 
+use crate::dht::DhtConduct;
 use p2pmodel::{AgentVersion, IdentifyInfo, Multiaddr, PeerId, ProtocolSet};
 use simclock::{SimDuration, SimRng, SimTime};
 
@@ -248,6 +249,12 @@ pub struct RemotePeerSpec {
     /// routing traffic alone (a Peerstore entry without any connection —
     /// the paper saw ~3.6 k such PIDs).
     pub gossip_visibility: f64,
+    /// DHT-protocol conduct (routing-table admission and lookup replies).
+    /// Non-honest peers are also excluded from the observers' outbound
+    /// maintenance-dial pool: adversarial DHT daemons squat the key space
+    /// but do not accept swarm connections, which is what keeps the passive
+    /// monitor view byte-identical under DHT-level attacks.
+    pub dht_conduct: DhtConduct,
 }
 
 impl RemotePeerSpec {
@@ -262,6 +269,7 @@ impl RemotePeerSpec {
             behavior: DialBehavior::default_peer(),
             changes: Vec::new(),
             gossip_visibility: 0.0,
+            dht_conduct: DhtConduct::Honest,
         }
     }
 
@@ -288,6 +296,12 @@ impl RemotePeerSpec {
     /// Returns a copy with the given gossip visibility.
     pub fn with_gossip_visibility(mut self, p: f64) -> Self {
         self.gossip_visibility = p;
+        self
+    }
+
+    /// Returns a copy with the given DHT conduct.
+    pub fn with_dht_conduct(mut self, conduct: DhtConduct) -> Self {
+        self.dht_conduct = conduct;
         self
     }
 

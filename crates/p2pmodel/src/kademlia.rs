@@ -296,10 +296,21 @@ impl RoutingTable {
     }
 
     /// The `count` peers closest to `target` in XOR distance, closest first.
+    ///
+    /// Iterative lookups call this once per hop, so the table is *not* fully
+    /// sorted: `select_nth_unstable_by_key` partitions the k closest peers in
+    /// O(n) and only that prefix is sorted, for O(n + k log k) per call
+    /// instead of O(n log n).
     pub fn closest(&self, target: &PeerId, count: usize) -> Vec<PeerId> {
+        if count == 0 {
+            return Vec::new();
+        }
         let mut peers: Vec<PeerId> = self.iter().copied().collect();
+        if count < peers.len() {
+            peers.select_nth_unstable_by_key(count - 1, |p| p.distance(target));
+            peers.truncate(count);
+        }
         peers.sort_by_key(|p| p.distance(target));
-        peers.truncate(count);
         peers
     }
 

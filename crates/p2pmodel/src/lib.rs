@@ -27,6 +27,7 @@ pub mod connection;
 pub mod connmgr;
 pub mod identify;
 pub mod kademlia;
+pub mod lookup;
 pub mod multiaddr;
 pub mod peer_id;
 pub mod peerstore;
@@ -37,6 +38,7 @@ pub use connection::{CloseReason, ConnectionId, ConnectionInfo, ConnectionState,
 pub use connmgr::{ConnLimits, ConnectionManager, TrimDecision};
 pub use identify::IdentifyInfo;
 pub use kademlia::{Distance, KBucket, RoutingTable};
+pub use lookup::IterativeLookup;
 pub use multiaddr::{IpAddress, Multiaddr, Transport};
 pub use peer_id::PeerId;
 pub use peerstore::{PeerEntry, Peerstore};

@@ -18,15 +18,34 @@
 //! * [`ChurnScenario::NatChurn`] — waves of distinct users arriving behind
 //!   a handful of shared NAT addresses (the §V-A grouping's worst case).
 //!
+//! Beyond churn, three regimes attack the **DHT routing layer** itself
+//! ([`ChurnScenario::adversaries`]). Their peers are silent towards the
+//! passive monitors — they never dial, never gossip, never complete an
+//! identify — so the passive measurement is byte-identical to the baseline
+//! while the active crawler's view degrades:
+//!
+//! * [`ChurnScenario::SybilFlood`] — one operator spreads Sybil identities
+//!   over the key space; their routing tables answer with nothing but
+//!   fellow Sybils ([`netsim::DhtConduct::Sybil`]),
+//! * [`ChurnScenario::Eclipse`] — Sybils crowd the key-space neighbourhoods
+//!   of victim DHT-Servers so re-joining victims find their closest
+//!   neighbours unwilling to reference them,
+//! * [`ChurnScenario::TablePoison`] — peers pad every `FIND_NODE` reply
+//!   with fabricated PIDs ([`netsim::DhtConduct::Poison`]) whose dial
+//!   timeouts eat the crawler's time budget.
+//!
 //! Every stream is a pure function of `(scenario, seed, scale, duration)` —
 //! scenario runs inherit the determinism contract of the rest of the stack.
 //! `analysis::robustness` quantifies what each regime does to the §V-A and
-//! §V-B network-size estimators.
+//! §V-B network-size estimators, and its crawl-disagreement report
+//! quantifies what the adversarial regimes do to the crawler baseline.
 
 use crate::archetype::Archetype;
 use crate::builder::Population;
 use crate::dynamics;
-use netsim::{PopulationAction, PopulationEvent, RemotePeerSpec, SessionPattern};
+use netsim::{
+    DhtConduct, DialBehavior, PopulationAction, PopulationEvent, RemotePeerSpec, SessionPattern,
+};
 use p2pmodel::{AgentVersion, IdentifyInfo, IpAddress, Multiaddr, PeerId, Transport};
 use simclock::rng::fnv1a;
 use simclock::{SimDuration, SimRng, SimTime};
@@ -87,6 +106,43 @@ pub enum ChurnScenario {
         /// Number of arrival waves spread over the run.
         waves: usize,
     },
+    /// One operator spreading Sybil identities evenly over the key space.
+    ///
+    /// The Sybils run as DHT-Servers but their routing tables admit only
+    /// fellow Sybils, so every crawler query routed into the flood dead-ends.
+    SybilFlood {
+        /// Number of Sybil identities at paper scale.
+        sybils: usize,
+        /// The Sybils are spread over `2^prefix_bits` key-space prefixes.
+        prefix_bits: u32,
+        /// When the flood joins, as a fraction of the run length.
+        at_fraction: f64,
+    },
+    /// Sybils crowding the key-space neighbourhoods of victim DHT-Servers.
+    ///
+    /// Each victim gets a squad of Sybils sharing its 16-bit key prefix;
+    /// when a victim churns back online its closest neighbours are Sybils
+    /// that refuse to reference it, pushing it out of the crawler's reach.
+    Eclipse {
+        /// Number of victim servers at paper scale.
+        victims: usize,
+        /// Sybils placed next to each victim.
+        sybils_per_victim: usize,
+        /// When the squads join, as a fraction of the run length.
+        at_fraction: f64,
+    },
+    /// Peers that answer `FIND_NODE` with fabricated routing entries.
+    ///
+    /// Every fabricated PID costs the crawler a dial timeout, draining its
+    /// crawl time budget.
+    TablePoison {
+        /// Number of poisoning peers at paper scale.
+        poisoners: usize,
+        /// Fabricated entries appended to each reply.
+        junk_per_reply: usize,
+        /// When the poisoners join, as a fraction of the run length.
+        at_fraction: f64,
+    },
 }
 
 impl ChurnScenario {
@@ -134,6 +190,33 @@ impl ChurnScenario {
         }
     }
 
+    /// The Sybil-flood attack with default knobs.
+    pub fn sybil_flood() -> Self {
+        ChurnScenario::SybilFlood {
+            sybils: 6_000,
+            prefix_bits: 8,
+            at_fraction: 0.15,
+        }
+    }
+
+    /// The eclipse attack with default knobs.
+    pub fn eclipse() -> Self {
+        ChurnScenario::Eclipse {
+            victims: 2_000,
+            sybils_per_victim: 20,
+            at_fraction: 0.2,
+        }
+    }
+
+    /// The routing-table-poisoning attack with default knobs.
+    pub fn table_poison() -> Self {
+        ChurnScenario::TablePoison {
+            poisoners: 2_000,
+            junk_per_reply: 8,
+            at_fraction: 0.1,
+        }
+    }
+
     /// Every scenario (baseline first), each with its default knobs.
     pub fn all() -> Vec<ChurnScenario> {
         let mut scenarios = vec![ChurnScenario::Baseline];
@@ -141,7 +224,9 @@ impl ChurnScenario {
         scenarios
     }
 
-    /// The five non-baseline regimes with default knobs, in label order.
+    /// The five non-baseline churn regimes with default knobs, in label
+    /// order. The DHT-level attacks ([`Self::adversaries`]) are kept out of
+    /// this list so estimator calibration sweeps stay purely churn-driven.
     pub fn regimes() -> Vec<ChurnScenario> {
         vec![
             ChurnScenario::diurnal(),
@@ -149,6 +234,15 @@ impl ChurnScenario {
             ChurnScenario::mass_exit(),
             ChurnScenario::pid_rotation_flood(),
             ChurnScenario::nat_churn(),
+        ]
+    }
+
+    /// The DHT-level adversaries with default knobs, in label order.
+    pub fn adversaries() -> Vec<ChurnScenario> {
+        vec![
+            ChurnScenario::sybil_flood(),
+            ChurnScenario::eclipse(),
+            ChurnScenario::table_poison(),
         ]
     }
 
@@ -161,6 +255,9 @@ impl ChurnScenario {
             ChurnScenario::MassExit { .. } => "massexit",
             ChurnScenario::PidRotationFlood { .. } => "pidflood",
             ChurnScenario::NatChurn { .. } => "natchurn",
+            ChurnScenario::SybilFlood { .. } => "sybil",
+            ChurnScenario::Eclipse { .. } => "eclipse",
+            ChurnScenario::TablePoison { .. } => "poison",
         }
     }
 
@@ -174,6 +271,9 @@ impl ChurnScenario {
             "massexit" => Some(ChurnScenario::mass_exit()),
             "pidflood" => Some(ChurnScenario::pid_rotation_flood()),
             "natchurn" => Some(ChurnScenario::nat_churn()),
+            "sybil" => Some(ChurnScenario::sybil_flood()),
+            "eclipse" => Some(ChurnScenario::eclipse()),
+            "poison" => Some(ChurnScenario::table_poison()),
             _ => None,
         }
     }
@@ -188,16 +288,26 @@ impl ChurnScenario {
             ChurnScenario::PidRotationFlood { rotations, .. } => {
                 scaled_count(*rotations, scale).max(6)
             }
+            ChurnScenario::SybilFlood { sybils, .. } => scaled_count(*sybils, scale),
+            ChurnScenario::Eclipse {
+                victims,
+                sybils_per_victim,
+                ..
+            } => scaled_count(*victims, scale) * (*sybils_per_victim).max(1),
+            ChurnScenario::TablePoison { poisoners, .. } => scaled_count(*poisoners, scale),
         }
     }
 
     /// Number of ground-truth *participants* the scenario adds: NATed and
     /// flash-crowd users are each real participants, while the whole
-    /// rotation flood is a single operator.
+    /// rotation flood — like each DHT-level attack — is a single operator.
     pub fn participants_added(&self, scale: f64) -> usize {
         match self {
             ChurnScenario::Baseline | ChurnScenario::MassExit { .. } => 0,
-            ChurnScenario::PidRotationFlood { .. } => 1,
+            ChurnScenario::PidRotationFlood { .. }
+            | ChurnScenario::SybilFlood { .. }
+            | ChurnScenario::Eclipse { .. }
+            | ChurnScenario::TablePoison { .. } => 1,
             _ => self.pids_added(scale),
         }
     }
@@ -262,6 +372,40 @@ impl ChurnScenario {
                 scaled_count(*users, scale),
                 (*shared_ips).max(1),
                 (*waves).max(1),
+                duration,
+                &mut rng,
+            ),
+            ChurnScenario::SybilFlood {
+                sybils,
+                prefix_bits,
+                at_fraction,
+            } => sybil_flood_events(
+                scaled_count(*sybils, scale),
+                (*prefix_bits).min(16),
+                *at_fraction,
+                duration,
+                &mut rng,
+            ),
+            ChurnScenario::Eclipse {
+                victims,
+                sybils_per_victim,
+                at_fraction,
+            } => eclipse_events(
+                scaled_count(*victims, scale),
+                (*sybils_per_victim).max(1),
+                *at_fraction,
+                duration,
+                base,
+                &mut rng,
+            ),
+            ChurnScenario::TablePoison {
+                poisoners,
+                junk_per_reply,
+                at_fraction,
+            } => table_poison_events(
+                scaled_count(*poisoners, scale),
+                *junk_per_reply,
+                *at_fraction,
                 duration,
                 &mut rng,
             ),
@@ -467,6 +611,120 @@ fn nat_churn_events(
         .collect()
 }
 
+/// Builds one adversarial DHT-Server identity.
+///
+/// The spec is **silent towards the passive monitors**: it never dials an
+/// observer, never completes an identify, and is invisible to gossip — so an
+/// adversarial run's passive observations are byte-identical to the
+/// baseline's. The engine also keeps non-honest peers out of the observers'
+/// maintenance-dial pool (the daemons squat key space but refuse swarm
+/// connections), so the only layer the attack touches is the DHT routing
+/// state the active crawler walks.
+fn adversarial_spec(pid: PeerId, conduct: DhtConduct, rng: &mut SimRng) -> RemotePeerSpec {
+    let addr = Multiaddr::new(IpAddress::random_v4(rng), Transport::Tcp, 4001);
+    let identify = IdentifyInfo::new(
+        AgentVersion::parse("go-ipfs/0.12.0/sybil"),
+        Archetype::RegularServer.protocols(true),
+        vec![addr],
+    );
+    let mut behavior = DialBehavior::default_peer();
+    behavior.dial_server_prob = 0.0;
+    behavior.dial_client_prob = 0.0;
+    behavior.identify_prob = 0.0;
+    behavior.reconnect = false;
+    RemotePeerSpec::new(pid, addr, identify)
+        .with_session(SessionPattern::AlwaysOn)
+        .with_behavior(behavior)
+        .with_gossip_visibility(0.0)
+        .with_dht_conduct(conduct)
+}
+
+fn sybil_flood_events(
+    sybils: usize,
+    prefix_bits: u32,
+    at_fraction: f64,
+    duration: SimDuration,
+    rng: &mut SimRng,
+) -> Vec<PopulationEvent> {
+    // Round-robin over the prefixes: the flood covers the key space evenly,
+    // like hydra heads do — except these heads answer with only each other.
+    let flood: Vec<RemotePeerSpec> = (0..sybils)
+        .map(|i| {
+            let prefix = (i % (1usize << prefix_bits)) as u16;
+            let pid = PeerId::with_prefix(prefix, prefix_bits, rng);
+            adversarial_spec(pid, DhtConduct::Sybil { cluster: 1 }, rng)
+        })
+        .collect();
+    let at = SimTime::ZERO
+        + SimDuration::from_secs_f64(duration.as_secs_f64() * at_fraction.clamp(0.0, 0.95));
+    vec![PopulationEvent {
+        at,
+        action: PopulationAction::Join(flood),
+    }]
+}
+
+fn eclipse_events(
+    victims: usize,
+    sybils_per_victim: usize,
+    at_fraction: f64,
+    duration: SimDuration,
+    base: &Population,
+    rng: &mut SimRng,
+) -> Vec<PopulationEvent> {
+    // Anchor each squad on a real DHT-Server from the base population; when
+    // the base has fewer servers than victims the squads cycle through the
+    // eligible ones, and a serverless base still gets fictional anchors so
+    // the event stream's size stays a pure function of the knobs.
+    let eligible: Vec<PeerId> = base
+        .specs
+        .iter()
+        .filter(|s| s.is_dht_server())
+        .map(|s| s.peer_id)
+        .collect();
+    let mut squads = Vec::with_capacity(victims * sybils_per_victim);
+    for v in 0..victims {
+        let anchor = if eligible.is_empty() {
+            PeerId::derived(INJECTED_LABEL_BASE + 0xEC11_0000 + v as u64)
+        } else {
+            eligible[v % eligible.len()]
+        };
+        let bytes = anchor.as_bytes();
+        let prefix = u16::from_be_bytes([bytes[0], bytes[1]]);
+        for _ in 0..sybils_per_victim {
+            let pid = PeerId::with_prefix(prefix, 16, rng);
+            squads.push(adversarial_spec(pid, DhtConduct::Sybil { cluster: 2 }, rng));
+        }
+    }
+    let at = SimTime::ZERO
+        + SimDuration::from_secs_f64(duration.as_secs_f64() * at_fraction.clamp(0.0, 0.95));
+    vec![PopulationEvent {
+        at,
+        action: PopulationAction::Join(squads),
+    }]
+}
+
+fn table_poison_events(
+    poisoners: usize,
+    junk_per_reply: usize,
+    at_fraction: f64,
+    duration: SimDuration,
+    rng: &mut SimRng,
+) -> Vec<PopulationEvent> {
+    let conduct = DhtConduct::Poison { junk_per_reply };
+    let peers: Vec<RemotePeerSpec> = (0..poisoners as u64)
+        .map(|i| {
+            let pid = PeerId::derived(INJECTED_LABEL_BASE + 0xBAD0_0000 + i);
+            adversarial_spec(pid, conduct, rng)
+        })
+        .collect();
+    let at = SimTime::ZERO
+        + SimDuration::from_secs_f64(duration.as_secs_f64() * at_fraction.clamp(0.0, 0.95));
+    vec![PopulationEvent {
+        at,
+        action: PopulationAction::Join(peers),
+    }]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,12 +739,14 @@ mod tests {
 
     #[test]
     fn labels_roundtrip_and_are_distinct() {
-        let all = ChurnScenario::all();
-        assert_eq!(all.len(), 6);
+        let mut all = ChurnScenario::all();
+        assert_eq!(all.len(), 6, "adversaries stay out of the default sweep");
+        all.extend(ChurnScenario::adversaries());
+        assert_eq!(all.len(), 9);
         let mut labels: Vec<&str> = all.iter().map(|s| s.label()).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), 6, "labels must be distinct");
+        assert_eq!(labels.len(), 9, "labels must be distinct");
         for scenario in &all {
             assert_eq!(
                 ChurnScenario::from_label(scenario.label()).as_ref(),
@@ -511,7 +771,9 @@ mod tests {
     #[test]
     fn event_streams_are_deterministic_and_sorted() {
         let population = base();
-        for scenario in ChurnScenario::all() {
+        let mut scenarios = ChurnScenario::all();
+        scenarios.extend(ChurnScenario::adversaries());
+        for scenario in scenarios {
             let a = scenario.events(7, 0.01, SimDuration::from_days(1), &population);
             let b = scenario.events(7, 0.01, SimDuration::from_days(1), &population);
             assert_eq!(a, b, "{scenario} stream must be deterministic");
@@ -537,7 +799,9 @@ mod tests {
     #[test]
     fn joined_pid_counts_match_pids_added() {
         let population = base();
-        for scenario in ChurnScenario::all() {
+        let mut scenarios = ChurnScenario::all();
+        scenarios.extend(ChurnScenario::adversaries());
+        for scenario in scenarios {
             let events = scenario.events(3, 0.01, SimDuration::from_days(1), &population);
             let joined: usize = events
                 .iter()
@@ -615,11 +879,55 @@ mod tests {
     }
 
     #[test]
+    fn adversaries_are_silent_dht_servers() {
+        // The attacks must live entirely in the DHT layer: every injected
+        // peer is a DHT-Server with a non-honest conduct that never dials,
+        // never completes an identify and is invisible to gossip — the
+        // passive monitors' view stays byte-identical to the baseline.
+        let population = base();
+        for scenario in ChurnScenario::adversaries() {
+            let events = scenario.events(3, 0.01, SimDuration::from_days(1), &population);
+            assert_eq!(events.len(), 1, "{scenario} joins in one batch");
+            let PopulationAction::Join(specs) = &events[0].action else {
+                panic!("{scenario} must be a join batch");
+            };
+            assert!(!specs.is_empty());
+            for spec in specs {
+                assert!(spec.is_dht_server(), "{scenario} peers squat the DHT");
+                assert!(!spec.dht_conduct.is_honest());
+                assert_eq!(spec.session, SessionPattern::AlwaysOn);
+                assert_eq!(spec.behavior.dial_server_prob, 0.0);
+                assert_eq!(spec.behavior.dial_client_prob, 0.0);
+                assert_eq!(spec.behavior.identify_prob, 0.0);
+                assert_eq!(spec.gossip_visibility, 0.0);
+            }
+        }
+        // The eclipse squads actually sit next to their victims: each Sybil
+        // shares a 16-bit prefix with some base-population DHT-Server.
+        let servers: std::collections::BTreeSet<u16> = population
+            .specs
+            .iter()
+            .filter(|s| s.is_dht_server())
+            .map(|s| u16::from_be_bytes([s.peer_id.as_bytes()[0], s.peer_id.as_bytes()[1]]))
+            .collect();
+        let events = ChurnScenario::eclipse().events(3, 0.01, SimDuration::from_days(1), &population);
+        let PopulationAction::Join(squads) = &events[0].action else {
+            panic!("eclipse must join");
+        };
+        for sybil in squads {
+            let prefix = u16::from_be_bytes([sybil.peer_id.as_bytes()[0], sybil.peer_id.as_bytes()[1]]);
+            assert!(servers.contains(&prefix), "sybil must share a victim's prefix");
+        }
+    }
+
+    #[test]
     fn injected_pids_never_collide_with_the_base_population() {
         let population = PopulationBuilder::new(5).with_scale(1.0).build();
         let known: std::collections::BTreeSet<PeerId> =
             population.specs.iter().map(|s| s.peer_id).collect();
-        for scenario in ChurnScenario::regimes() {
+        let mut scenarios = ChurnScenario::regimes();
+        scenarios.extend(ChurnScenario::adversaries());
+        for scenario in scenarios {
             for event in scenario.events(5, 0.05, SimDuration::from_days(3), &population) {
                 if let PopulationAction::Join(specs) | PopulationAction::Rotate { join: specs, .. } =
                     &event.action

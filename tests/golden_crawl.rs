@@ -1,0 +1,99 @@
+//! Golden-fixture regression tests for the routed crawler under DHT-level
+//! attack.
+//!
+//! Two adversarial cells — an eclipse and a table-poisoning campaign on P4
+//! at SCALE = 0.005 — must reproduce their committed crawl-disagreement rows
+//! in `tests/golden/` *byte-identically*, at any thread count. Each fixture
+//! holds the cell's [`CrawlDisagreementRow`] plus an FNV-1a fingerprint of
+//! the primary (passive) data set's JSON export, so the fixtures pin both
+//! sides of the tentpole invariant: the crawler's measured bias AND the
+//! untouched passive vantage.
+//!
+//! If a change intentionally alters crawl behaviour, regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_crawl` and review the diff.
+
+use ipfs_passive_measurement::prelude::*;
+use jsonio::Json;
+use simclock::rng::fnv1a;
+use std::path::PathBuf;
+
+mod common;
+use common::{SCALE, SEED};
+
+/// The adversarial cells the fixtures pin: the eclipse biases placement,
+/// the poison drains the crawl budget.
+fn pinned_scenarios() -> Vec<ChurnScenario> {
+    vec![ChurnScenario::eclipse(), ChurnScenario::table_poison()]
+}
+
+fn golden_path(scenario: &ChurnScenario) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("crawl_p4_s{SCALE}_{}.json", scenario.label()))
+}
+
+/// Renders the committed fixture content for one finished campaign.
+fn golden_string(campaign: &MeasurementCampaign) -> String {
+    let row = crawl_disagreement_row(campaign);
+    let mut obj = Json::object();
+    obj.insert(
+        "dataset_fingerprint",
+        format!("{:016x}", fnv1a(&campaign.primary().to_json_string())),
+    );
+    obj.insert("row", row.to_json());
+    let mut text = obj.to_string_pretty();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn adversarial_crawl_cells_reproduce_the_committed_fixtures_at_any_thread_count() {
+    let scenarios = pinned_scenarios();
+    let serial = run_scenario_suite(MeasurementPeriod::P4, SCALE, SEED, &scenarios, 1);
+    let parallel = run_scenario_suite(MeasurementPeriod::P4, SCALE, SEED, &scenarios, 2);
+    for ((scenario, a), b) in scenarios.iter().zip(&serial).zip(&parallel) {
+        let rendered = golden_string(a);
+        assert_eq!(
+            rendered,
+            golden_string(b),
+            "{scenario}: 1-thread and 2-thread runs must be byte-identical"
+        );
+        let path = golden_path(scenario);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+        }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_crawl",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            committed,
+            "{scenario}: output drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn crawl_fixtures_are_valid_json_with_the_documented_schema() {
+    for scenario in pinned_scenarios() {
+        let path = golden_path(&scenario);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            // The reproduction test reports the actionable error.
+            continue;
+        };
+        let json = Json::parse(&text).expect("fixture parses");
+        assert!(json.str_field("dataset_fingerprint").is_ok());
+        let row = json.field("row").expect("row object");
+        assert_eq!(row.str_field("scenario").unwrap(), scenario.label());
+        assert_eq!(row.str_field("period").unwrap(), "P4");
+        assert!(row.u64_field("crawls").unwrap() > 0);
+        assert!(row.u64_field("adversarial_found").unwrap() > 0);
+        assert!(row.u64_field("passive_pids").unwrap() > 0);
+        assert!(row.field("mean_recall").is_ok(), "recall recorded");
+    }
+}
