@@ -675,17 +675,27 @@ fn scale_usage() -> ! {
     eprintln!(
         "usage: repro scale [--peers N] [--shards N] [--threads N] \
          [--duration-mins M] [--seed N] [--compat-peers N] \
-         [--out BENCH_scale.json] [--no-file]"
+         [--out BENCH_scale.json] [--no-file] \
+         [--full-protocol] [--epoch-secs S] [--tp-observers N]"
+    );
+    eprintln!(
+        "  --full-protocol runs one coherent population through the \
+         cross-shard mailbox engine instead of independent per-shard \
+         simulations, and merges a `true_protocol` row into the report file"
     );
     std::process::exit(2);
 }
 
 fn run_scale_command(args: &[String]) {
-    use bench::scale::{run_scale_with_progress, ScaleConfig};
+    use bench::scale::{run_scale_with_progress, ScaleConfig, TrueProtocolConfig};
 
     let mut cfg = ScaleConfig::default();
     let mut out_path = String::from("BENCH_scale.json");
     let mut write_file = true;
+    let mut full_protocol = false;
+    let mut peers_given = false;
+    let mut epoch_secs: u64 = 60;
+    let mut tp_observers: usize = TrueProtocolConfig::default().observers;
 
     let mut i = 0;
     while i < args.len() {
@@ -695,6 +705,7 @@ fn run_scale_command(args: &[String]) {
         match args[i].as_str() {
             "--peers" => {
                 cfg.peers = take(i).parse().unwrap_or_else(|_| scale_usage());
+                peers_given = true;
                 i += 2;
             }
             "--shards" => {
@@ -726,11 +737,45 @@ fn run_scale_command(args: &[String]) {
                 write_file = false;
                 i += 1;
             }
+            "--full-protocol" => {
+                full_protocol = true;
+                i += 1;
+            }
+            "--epoch-secs" => {
+                epoch_secs = take(i).parse().unwrap_or_else(|_| scale_usage());
+                i += 2;
+            }
+            "--tp-observers" => {
+                tp_observers = take(i).parse().unwrap_or_else(|_| scale_usage());
+                i += 2;
+            }
             _ => scale_usage(),
         }
     }
     if cfg.peers == 0 || cfg.shards == 0 || cfg.threads == 0 || cfg.compat_peers == 0 {
         scale_usage();
+    }
+    if full_protocol {
+        if epoch_secs == 0 || tp_observers == 0 {
+            scale_usage();
+        }
+        // The classic harness and the true-protocol campaign default to
+        // different population sizes; only an explicit --peers overrides.
+        let tp_cfg = TrueProtocolConfig {
+            peers: if peers_given {
+                cfg.peers
+            } else {
+                TrueProtocolConfig::default().peers
+            },
+            shards: cfg.shards,
+            threads: cfg.threads,
+            duration: cfg.duration,
+            epoch: simclock::SimDuration::from_secs(epoch_secs),
+            seed: cfg.seed,
+            observers: tp_observers,
+        };
+        run_full_protocol_command(&tp_cfg, &out_path, write_file);
+        return;
     }
 
     eprintln!(
@@ -761,6 +806,46 @@ fn run_scale_command(args: &[String]) {
     }
     // stdout carries only the deterministic fields, so two runs with
     // different --threads can be compared byte-for-byte.
+    println!("{}", report.deterministic_json().to_string_pretty());
+}
+
+/// Runs the `--full-protocol` variant: one coherent population through the
+/// cross-shard mailbox engine. The `true_protocol` row is merged into the
+/// report file (preserving an existing classic report if one is there), and
+/// stdout carries only the deterministic fields for byte-comparison.
+fn run_full_protocol_command(
+    cfg: &bench::scale::TrueProtocolConfig,
+    out_path: &str,
+    write_file: bool,
+) {
+    use bench::scale::run_true_protocol;
+
+    eprintln!(
+        "# scale --full-protocol: {} peers in {} lock-step shards on {} threads, \
+         {} simulated, {} epochs",
+        cfg.peers,
+        cfg.shards,
+        cfg.threads,
+        cfg.duration,
+        cfg.duration.as_millis() / cfg.epoch.as_millis().max(1)
+    );
+    let report = run_true_protocol(cfg);
+    eprintln!("# {}", report.summary());
+    if write_file {
+        let mut root = std::fs::read_to_string(out_path)
+            .ok()
+            .and_then(|text| jsonio::Json::parse(&text).ok())
+            .filter(|json| json.as_object().is_some())
+            .unwrap_or_else(jsonio::Json::object);
+        root.insert("true_protocol", report.full_json());
+        let mut text = root.to_string_pretty();
+        text.push('\n');
+        if let Err(error) = std::fs::write(out_path, text) {
+            eprintln!("failed to write {out_path}: {error}");
+            std::process::exit(1);
+        }
+        eprintln!("# true_protocol row merged into {out_path}");
+    }
     println!("{}", report.deterministic_json().to_string_pretty());
 }
 

@@ -86,6 +86,53 @@ pub fn run_built(run: population::ScenarioRun) -> MeasurementCampaign {
     campaign_from_output(scenario, ground_truth_participants, duration, output)
 }
 
+/// Runs a materialised scenario through the cross-shard full-protocol engine
+/// (`netsim::mailbox`) instead of the classic single-queue runner, then
+/// feeds the exact same campaign-ingestion path.
+///
+/// Observers may live in any shard — the engine round-robins them and merges
+/// their logs canonically, so [`campaign_from_output`] is unchanged. The
+/// resulting campaign is byte-identical for every `shards`/`threads` value;
+/// it differs from [`run_built`] (a different engine with per-entity RNG
+/// streams and explicit propagation latency), which is why both paths exist.
+///
+/// # Panics
+///
+/// Panics if the scenario carries scripted population events: mid-run
+/// join/leave/rotation scripts are a classic-engine feature the cross-shard
+/// engine does not replay.
+pub fn run_built_full_protocol(
+    run: population::ScenarioRun,
+    shards: usize,
+    threads: usize,
+) -> MeasurementCampaign {
+    assert!(
+        run.events.is_empty(),
+        "the cross-shard engine does not replay scripted population events"
+    );
+    let scenario = run.scenario;
+    let ground_truth_participants = run.ground_truth_participants;
+    let duration = run.config.duration;
+    let engine_cfg = netsim::FullProtocolConfig::from_network(&run.config)
+        .with_shards(shards)
+        .with_threads(threads);
+    let result = netsim::run_full_protocol(&engine_cfg, run.population.specs);
+    campaign_from_output(scenario, ground_truth_participants, duration, result.output)
+}
+
+/// Runs one of the paper's measurement periods through the cross-shard
+/// full-protocol engine. See [`run_built_full_protocol`].
+pub fn run_period_full_protocol(
+    period: MeasurementPeriod,
+    scale: f64,
+    seed: u64,
+    shards: usize,
+    threads: usize,
+) -> MeasurementCampaign {
+    let scenario = Scenario::new(period).with_scale(scale).with_seed(seed);
+    run_built_full_protocol(scenario.build(), shards, threads)
+}
+
 /// Assembles a [`MeasurementCampaign`] from a finished simulation output:
 /// monitor ingestion, hydra union, active-crawler baseline.
 ///
@@ -217,6 +264,25 @@ mod tests {
         let union = campaign.hydra_union.as_ref().unwrap();
         for head in &campaign.hydra_heads {
             assert!(union.pid_count() >= head.pid_count());
+        }
+    }
+
+    #[test]
+    fn full_protocol_campaign_is_shard_invariant_through_ingestion() {
+        let one = run_period_full_protocol(MeasurementPeriod::P1, 0.004, 11, 1, 1);
+        assert!(one.go_ipfs.is_some());
+        assert_eq!(one.hydra_heads.len(), 2);
+        assert!(one.primary().pid_count() > 0);
+        let sharded = run_period_full_protocol(MeasurementPeriod::P1, 0.004, 11, 4, 2);
+        assert_eq!(one.primary().pid_count(), sharded.primary().pid_count());
+        assert_eq!(
+            one.primary().connection_count(),
+            sharded.primary().connection_count()
+        );
+        assert_eq!(one.ground_truth.events, sharded.ground_truth.events);
+        for (a, b) in one.hydra_heads.iter().zip(&sharded.hydra_heads) {
+            assert_eq!(a.pid_count(), b.pid_count());
+            assert_eq!(a.connection_count(), b.connection_count());
         }
     }
 

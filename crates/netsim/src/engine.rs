@@ -24,9 +24,9 @@ use crate::config::{NetworkConfig, ObserverSpec};
 use crate::dht::{DhtLog, DhtTracker};
 use crate::events::{GroundTruth, GroundTruthEvent, ObserverLog};
 use crate::obs::{IdentifyRegistry, ObservationSink, ObservationTable};
-use crate::spec::{MetadataChange, PopulationAction, PopulationEvent, RemotePeerSpec};
+use crate::spec::{PopulationAction, PopulationEvent, RemotePeerSpec};
 use p2pmodel::{
-    protocol::well_known, CloseReason, ConnectionId, ConnectionManager, Direction, ProtocolId,
+    protocol::well_known, CloseReason, ConnectionId, ConnectionManager, Direction,
 };
 use simclock::{EventQueue, SimRng, SimTime};
 use std::collections::HashMap;
@@ -755,16 +755,7 @@ impl<S: ObservationSink> Runner<S> {
             .registry
             .identify(self.peer_states[peer].identify_id)
             .clone();
-        match &scheduled.change {
-            MetadataChange::SetAgent(agent) => identify.agent = agent.clone(),
-            MetadataChange::AddProtocol(p) => {
-                identify.protocols.insert(ProtocolId::new(p.clone()));
-            }
-            MetadataChange::RemoveProtocol(p) => {
-                identify.protocols.remove(p);
-            }
-            MetadataChange::SetProtocols(protocols) => identify.protocols = protocols.clone(),
-        }
+        scheduled.change.apply(&mut identify);
         let is_server = identify.is_dht_server();
         let payload_id = self.registry.intern_identify(&identify);
         self.peer_states[peer].identify_id = payload_id;
@@ -955,6 +946,7 @@ pub const KAD_PROTOCOL: &str = well_known::KAD;
 mod tests {
     use super::*;
     use crate::config::{DhtRole, ObserverSpec};
+    use crate::spec::MetadataChange;
     use crate::events::ObservedEvent;
     use crate::obs::CountingSink;
     use crate::spec::{DialBehavior, ScheduledChange, SessionPattern};

@@ -31,6 +31,7 @@ pub mod config;
 pub mod dht;
 pub mod engine;
 pub mod events;
+pub mod mailbox;
 pub mod obs;
 pub mod spec;
 
@@ -38,8 +39,12 @@ pub use config::{DhtRole, NetworkConfig, ObserverSpec};
 pub use dht::{dht_log_from_ground_truth, DhtConduct, DhtEvent, DhtLog, DhtReplay, DhtTracker, DhtView};
 pub use engine::{Network, SimulationOutput, SinkRun};
 pub use events::{GroundTruth, GroundTruthEvent, ObservedEvent, ObserverLog};
+pub use mailbox::{
+    run_full_protocol, run_reference, FullProtocolConfig, FullProtocolRun, MailboxStats,
+};
 pub use obs::{
-    CountingSink, IdentifyRegistry, ObservationKind, ObservationSink, ObservationTable, TeeSink,
+    CountingSink, IdentifyRegistry, ObservationKind, ObservationSink, ObservationTable, ShardMap,
+    TeeSink,
 };
 pub use spec::{
     DialBehavior, MetadataChange, PopulationAction, PopulationEvent, RemotePeerSpec,

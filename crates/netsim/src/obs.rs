@@ -580,6 +580,82 @@ impl ObservationSink for CountingSink {
     }
 }
 
+/// Stable global PID ↔ (shard, slot) mapping for partitioned simulations.
+///
+/// The cross-shard engine ([`crate::mailbox`]) partitions the global peer
+/// index space `0..peers` into `shards` contiguous, balanced ranges: shard
+/// sizes differ by at most one, with the remainder going to the first
+/// shards (the same rule the scale harness's `shard_population` uses). The
+/// mapping is a pure function of `(peers, shards)` — no allocation, no
+/// lookup tables — so every shard, every worker thread and every epoch
+/// agrees on who owns a peer, and merged [`ObservationTable`]s /
+/// [`IdentifyRegistry`] slots stay canonical: the registry slot of a peer is
+/// its *global* index, independent of the shard layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    peers: usize,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Creates a mapping of `peers` global indexes onto `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(peers: usize, shards: usize) -> Self {
+        assert!(shards > 0, "a shard map needs at least one shard");
+        ShardMap { peers, shards }
+    }
+
+    /// Total number of peers mapped.
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Peers owned by `shard`: `peers / shards`, plus one for the first
+    /// `peers % shards` shards.
+    pub fn count(&self, shard: usize) -> usize {
+        let base = self.peers / self.shards;
+        base + usize::from(shard < self.peers % self.shards)
+    }
+
+    /// First global index owned by `shard`.
+    pub fn start(&self, shard: usize) -> usize {
+        let base = self.peers / self.shards;
+        let extra = self.peers % self.shards;
+        shard * base + shard.min(extra)
+    }
+
+    /// The shard owning global index `global`.
+    pub fn owner(&self, global: usize) -> usize {
+        debug_assert!(global < self.peers);
+        let base = self.peers / self.shards;
+        let extra = self.peers % self.shards;
+        let fat = extra * (base + 1);
+        if global < fat {
+            global / (base + 1)
+        } else {
+            extra + (global - fat) / base
+        }
+    }
+
+    /// The owner shard's local slot of global index `global`.
+    pub fn slot(&self, global: usize) -> usize {
+        global - self.start(self.owner(global))
+    }
+
+    /// The global index of `(shard, slot)`.
+    pub fn global(&self, shard: usize, slot: usize) -> usize {
+        self.start(shard) + slot
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

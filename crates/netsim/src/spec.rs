@@ -8,7 +8,7 @@
 //! reports (agents, protocols, churn classes, hydra co-location, …).
 
 use crate::dht::DhtConduct;
-use p2pmodel::{AgentVersion, IdentifyInfo, Multiaddr, PeerId, ProtocolSet};
+use p2pmodel::{AgentVersion, IdentifyInfo, Multiaddr, PeerId, ProtocolId, ProtocolSet};
 use simclock::{SimDuration, SimRng, SimTime};
 
 /// When, and for how long, a peer is online.
@@ -183,6 +183,27 @@ pub enum MetadataChange {
     RemoveProtocol(String),
     /// Replace the entire protocol set.
     SetProtocols(ProtocolSet),
+}
+
+impl MetadataChange {
+    /// Applies the change to an identify payload in place.
+    ///
+    /// Both engines share this: the single-engine runner applies changes
+    /// lazily when the metadata event fires, the cross-shard engine applies
+    /// the whole chain up front to pre-intern every payload version a peer
+    /// will ever announce. One implementation keeps the two byte-compatible.
+    pub fn apply(&self, identify: &mut IdentifyInfo) {
+        match self {
+            MetadataChange::SetAgent(agent) => identify.agent = agent.clone(),
+            MetadataChange::AddProtocol(p) => {
+                identify.protocols.insert(ProtocolId::new(p.clone()));
+            }
+            MetadataChange::RemoveProtocol(p) => {
+                identify.protocols.remove(p);
+            }
+            MetadataChange::SetProtocols(protocols) => identify.protocols = protocols.clone(),
+        }
+    }
 }
 
 /// A metadata change scheduled for a specific simulated time.

@@ -35,7 +35,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventQueue, KeyedEventQueue, KeyedScheduledEvent, ScheduledEvent};
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
