@@ -136,6 +136,79 @@ fn bench_mailbox_drain(c: &mut Criterion) {
     );
 }
 
+fn bench_observation_sort(c: &mut Criterion) {
+    use netsim::{ObservationKind, ObservationTable};
+
+    // A shuffled table of the size one observer log reaches in a large
+    // campaign: the archive write path sorts this before encoding.
+    const ROWS: usize = 200_000;
+    let shuffled = || {
+        let mut rng = SimRng::seed_from(0xab5e);
+        let mut at = Vec::with_capacity(ROWS);
+        let mut kind = Vec::with_capacity(ROWS);
+        let mut peer_slot = Vec::with_capacity(ROWS);
+        let mut conn = Vec::with_capacity(ROWS);
+        let mut payload = Vec::with_capacity(ROWS);
+        for i in 0..ROWS {
+            at.push(SimTime::from_millis(rng.uniform_u64(0, 1 << 32)));
+            kind.push(match i % 4 {
+                0 => ObservationKind::OpenedInbound,
+                1 => ObservationKind::Closed,
+                2 => ObservationKind::Identify,
+                _ => ObservationKind::Discovered,
+            });
+            peer_slot.push((i % 50_000) as u32);
+            conn.push(i as u64);
+            payload.push(i as u32);
+        }
+        ObservationTable::from_columns(at, kind, peer_slot, conn, payload)
+    };
+
+    c.bench_function("micro/observation_sort_in_place_200k", |b| {
+        b.iter(|| {
+            let mut table = shuffled();
+            table.stable_sort_by_time();
+            black_box(table.checksum())
+        })
+    });
+
+    // Regression tripwire, not a statistical benchmark: the in-place cycle
+    // walk must leave every column in its original allocation and must not
+    // grow the table's resident footprint — the previous implementation
+    // collected five fresh column vectors and doubled peak memory on the
+    // archive write path.
+    let mut table = shuffled();
+    let before_bytes = table.approx_bytes();
+    let before_ptrs = (
+        table.ats().as_ptr(),
+        table.kinds().as_ptr(),
+        table.peer_slots().as_ptr(),
+        table.conns().as_ptr(),
+        table.payloads().as_ptr(),
+    );
+    table.stable_sort_by_time();
+    assert!(
+        table.is_sorted_by_time(),
+        "stable_sort_by_time must leave the table time-ordered"
+    );
+    assert_eq!(
+        before_ptrs,
+        (
+            table.ats().as_ptr(),
+            table.kinds().as_ptr(),
+            table.peer_slots().as_ptr(),
+            table.conns().as_ptr(),
+            table.payloads().as_ptr(),
+        ),
+        "stable_sort_by_time must permute in place, not reallocate columns"
+    );
+    assert_eq!(
+        before_bytes,
+        table.approx_bytes(),
+        "stable_sort_by_time must not grow the table's resident footprint"
+    );
+}
+
 fn bench_simulation(c: &mut Criterion) {
     let population = PopulationBuilder::new(3)
         .with_scale(0.003)
@@ -171,6 +244,6 @@ fn bench_simulation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_routing_table, bench_connmgr, bench_mailbox_drain, bench_simulation
+    targets = bench_routing_table, bench_connmgr, bench_mailbox_drain, bench_observation_sort, bench_simulation
 }
 criterion_main!(benches);

@@ -91,7 +91,19 @@
 //! cargo run --release -p bench --bin repro -- crawl --scenarios baseline,poison --threads 8
 //! ```
 //!
-//! Sweep, scenario, vantage, scale, stream, estimators and crawl stdout is deterministic: the same configuration
+//! The `export` subcommand runs a scenario suite once and persists every
+//! cell as a columnar trace archive (`cell-NN-<scenario>.obsar` plus a
+//! `manifest.json`), while the `analyze` subcommand reconstructs the
+//! campaigns from those archives with **zero re-simulation** and reproduces
+//! the robustness report byte-identically (the differential suite pins
+//! this), writing size/throughput/speedup numbers to `BENCH_archive.json`:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro -- export --dir archives --period P4
+//! cargo run --release -p bench --bin repro -- analyze --dir archives --threads 8
+//! ```
+//!
+//! Sweep, scenario, vantage, scale, stream, estimators, crawl, export and analyze stdout is deterministic: the same configuration
 //! produces byte-identical JSON regardless of `--threads` (timing numbers go
 //! to the `BENCH_*.json` files and stderr only).
 //!
@@ -186,6 +198,14 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("crawl") {
         run_crawl_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("export") {
+        run_export_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("analyze") {
+        run_analyze_command(&args[1..]);
         return;
     }
     let options = parse_args();
@@ -1294,6 +1314,390 @@ fn run_crawl_command(args: &[String]) {
     }
     // stdout carries only deterministic fields, so runs at different thread
     // counts can be compared byte-for-byte.
+    if pretty {
+        println!("{}", report.to_json_string_pretty());
+    } else {
+        println!("{}", report.to_json_string());
+    }
+}
+
+// ---- the `export` / `analyze` subcommands ----------------------------------
+
+fn export_usage() -> ! {
+    eprintln!(
+        "usage: repro export --dir DIR [--period P4] [--scale 0.005] [--seed N] \
+         [--scenarios baseline,diurnal,flashcrowd,massexit,pidflood,natchurn] \
+         [--threads N] [--pretty] [--no-table]"
+    );
+    std::process::exit(2);
+}
+
+fn run_export_command(args: &[String]) {
+    let mut dir: Option<String> = None;
+    let mut period = MeasurementPeriod::P4;
+    let mut scale: f64 = 0.005;
+    let mut seed = 1975u64;
+    let mut scenarios = ChurnScenario::all();
+    let mut threads: Option<usize> = None;
+    let mut pretty = false;
+    let mut table = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| export_usage())
+        };
+        match args[i].as_str() {
+            "--dir" => {
+                dir = Some(take(i).to_string());
+                i += 2;
+            }
+            "--period" => {
+                period = MeasurementPeriod::from_label(take(i)).unwrap_or_else(|| {
+                    eprintln!("unknown period {:?} (expected P0..P4 or P14d)", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--scale" => {
+                scale = take(i).parse().unwrap_or_else(|_| export_usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = take(i).parse().unwrap_or_else(|_| export_usage());
+                i += 2;
+            }
+            "--scenarios" => {
+                scenarios = parse_scenarios(take(i));
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(take(i).parse().unwrap_or_else(|_| export_usage()));
+                i += 2;
+            }
+            "--pretty" => {
+                pretty = true;
+                i += 1;
+            }
+            "--no-table" => {
+                table = false;
+                i += 1;
+            }
+            _ => export_usage(),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| export_usage());
+    if scenarios.is_empty() || !scale.is_finite() || scale <= 0.0 {
+        export_usage();
+    }
+
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    eprintln!(
+        "# export: {} on {period} at scale {scale}, seed {seed} -> {dir}/",
+        scenarios
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let started = std::time::Instant::now();
+    let cells = measurement::export_suite(period, scale, seed, &scenarios, threads);
+    let mut campaigns = Vec::with_capacity(cells.len());
+    let mut archives = Vec::with_capacity(cells.len());
+    let mut sim_secs = 0.0;
+    let mut encode_secs = 0.0;
+    for cell in cells {
+        sim_secs += cell.sim_secs;
+        encode_secs += cell.encode_secs;
+        campaigns.push(cell.campaign);
+        archives.push((cell.churn, cell.archive, cell.events));
+    }
+    let report = analysis::robustness_report(&campaigns);
+    // The full simulate + serialise + ingest + report wall time: the baseline
+    // that `repro analyze` measures its re-analysis speedup against.
+    let direct_secs = started.elapsed().as_secs_f64();
+
+    if let Err(error) = std::fs::create_dir_all(&dir) {
+        eprintln!("failed to create {dir}: {error}");
+        std::process::exit(1);
+    }
+    let mut manifest_cells = jsonio::Json::array();
+    let mut total_bytes = 0usize;
+    let mut rows = Vec::new();
+    for (index, (churn, archive, events)) in archives.iter().enumerate() {
+        let file = format!("cell-{index:02}-{}.obsar", churn.label());
+        let path = format!("{dir}/{file}");
+        if let Err(error) = std::fs::write(&path, archive) {
+            eprintln!("failed to write {path}: {error}");
+            std::process::exit(1);
+        }
+        total_bytes += archive.len();
+        let mut cell = jsonio::Json::object();
+        cell.insert("file", file.as_str());
+        cell.insert("scenario", churn.label());
+        cell.insert("events", *events as u64);
+        cell.insert("bytes", archive.len() as u64);
+        cell.insert("checksum", netsim::archive::fnv1a(archive));
+        manifest_cells.push(cell);
+        rows.push(vec![
+            churn.label().to_string(),
+            file,
+            report::count(*events),
+            format!("{}", archive.len()),
+            format!(
+                "{:.1}",
+                archive.len() as f64 / (*events).max(1) as f64
+            ),
+        ]);
+    }
+    let mut manifest = jsonio::Json::object();
+    manifest.insert("format_version", netsim::archive::FORMAT_VERSION as u64);
+    manifest.insert("period", period.label());
+    manifest.insert("scale", scale);
+    manifest.insert("seed", seed);
+    manifest.insert("cells", manifest_cells);
+    manifest.insert("direct_secs", direct_secs);
+    manifest.insert("sim_secs", sim_secs);
+    manifest.insert("encode_secs", encode_secs);
+    let manifest_path = format!("{dir}/manifest.json");
+    let mut text = manifest.to_string_pretty();
+    text.push('\n');
+    if let Err(error) = std::fs::write(&manifest_path, text) {
+        eprintln!("failed to write {manifest_path}: {error}");
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "# export finished in {:.1?}: {} cells, {} bytes archived",
+        started.elapsed(),
+        archives.len(),
+        total_bytes
+    );
+    if table {
+        eprintln!(
+            "\n{}",
+            report::text_table(
+                &["Scenario", "File", "Events", "Bytes", "B/event"],
+                &rows
+            )
+        );
+        eprintln!("{}", report.summary_table());
+    }
+    // stdout is the robustness report of the direct (simulate + ingest) path —
+    // byte-identical to `repro scenarios` with the same configuration, and the
+    // reference `repro analyze` must reproduce from the archives alone.
+    if pretty {
+        println!("{}", report.to_json_string_pretty());
+    } else {
+        println!("{}", report.to_json_string());
+    }
+}
+
+fn analyze_usage() -> ! {
+    eprintln!(
+        "usage: repro analyze --dir DIR [--threads N] [--pretty] [--no-table] \
+         [--bench-out BENCH_archive.json] [--no-file]"
+    );
+    std::process::exit(2);
+}
+
+/// Exits loudly when the manifest is missing a field — a malformed manifest
+/// must never silently degrade into a partial re-analysis.
+fn manifest_field<'a>(manifest: &'a jsonio::Json, key: &str) -> &'a jsonio::Json {
+    manifest.get(key).unwrap_or_else(|| {
+        eprintln!("manifest.json is missing the {key:?} field");
+        std::process::exit(1);
+    })
+}
+
+fn run_analyze_command(args: &[String]) {
+    let mut dir: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut pretty = false;
+    let mut table = true;
+    let mut bench_out = String::from("BENCH_archive.json");
+    let mut write_file = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| analyze_usage())
+        };
+        match args[i].as_str() {
+            "--dir" => {
+                dir = Some(take(i).to_string());
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(take(i).parse().unwrap_or_else(|_| analyze_usage()));
+                i += 2;
+            }
+            "--pretty" => {
+                pretty = true;
+                i += 1;
+            }
+            "--no-table" => {
+                table = false;
+                i += 1;
+            }
+            "--bench-out" => {
+                bench_out = take(i).to_string();
+                i += 2;
+            }
+            "--no-file" => {
+                write_file = false;
+                i += 1;
+            }
+            _ => analyze_usage(),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| analyze_usage());
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+
+    let manifest_path = format!("{dir}/manifest.json");
+    let manifest_text = std::fs::read_to_string(&manifest_path).unwrap_or_else(|error| {
+        eprintln!("failed to read {manifest_path}: {error}");
+        std::process::exit(1);
+    });
+    let manifest = jsonio::Json::parse(&manifest_text).unwrap_or_else(|error| {
+        eprintln!("failed to parse {manifest_path}: {error}");
+        std::process::exit(1);
+    });
+    let format_version = manifest_field(&manifest, "format_version")
+        .as_u64()
+        .unwrap_or(0);
+    if format_version != netsim::archive::FORMAT_VERSION as u64 {
+        eprintln!(
+            "manifest format version {format_version} is not the supported version {}",
+            netsim::archive::FORMAT_VERSION
+        );
+        std::process::exit(1);
+    }
+    let manifest_cells = manifest_field(&manifest, "cells").as_array().unwrap_or_else(|| {
+        eprintln!("manifest.json \"cells\" is not an array");
+        std::process::exit(1);
+    });
+    let direct_secs = manifest_field(&manifest, "direct_secs").as_f64().unwrap_or(0.0);
+    let sim_secs = manifest_field(&manifest, "sim_secs").as_f64().unwrap_or(0.0);
+    let encode_secs = manifest_field(&manifest, "encode_secs").as_f64().unwrap_or(0.0);
+
+    eprintln!(
+        "# analyze: {} cells from {dir}/ ({} archived at scale {}, seed {})",
+        manifest_cells.len(),
+        manifest_field(&manifest, "period").as_str().unwrap_or("?"),
+        manifest_field(&manifest, "scale").as_f64().unwrap_or(f64::NAN),
+        manifest_field(&manifest, "seed").as_u64().unwrap_or(0),
+    );
+
+    let started = std::time::Instant::now();
+    let mut archives = Vec::with_capacity(manifest_cells.len());
+    for cell in manifest_cells {
+        let file = cell.get("file").and_then(jsonio::Json::as_str).unwrap_or_else(|| {
+            eprintln!("manifest cell is missing the \"file\" field");
+            std::process::exit(1);
+        });
+        let path = format!("{dir}/{file}");
+        let bytes = std::fs::read(&path).unwrap_or_else(|error| {
+            eprintln!("failed to read {path}: {error}");
+            std::process::exit(1);
+        });
+        if let Some(expected) = cell.get("checksum").and_then(jsonio::Json::as_u64) {
+            let actual = netsim::archive::fnv1a(&bytes);
+            if actual != expected {
+                eprintln!(
+                    "{path} does not match its manifest checksum \
+                     (expected {expected:016x}, got {actual:016x})"
+                );
+                std::process::exit(1);
+            }
+        }
+        archives.push(bytes);
+    }
+    let read_secs = started.elapsed().as_secs_f64();
+
+    let cells = measurement::analyze_suite(&archives, threads).unwrap_or_else(|error| {
+        eprintln!("failed to decode archives: {error}");
+        std::process::exit(1);
+    });
+    let mut campaigns = Vec::with_capacity(cells.len());
+    let mut events = 0usize;
+    let mut archive_bytes = 0usize;
+    let mut resident_bytes = 0usize;
+    let mut decode_secs = 0.0;
+    for cell in cells {
+        events += cell.events;
+        archive_bytes += cell.archive_bytes;
+        resident_bytes += cell.resident_bytes;
+        decode_secs += cell.decode_secs;
+        campaigns.push(cell.campaign);
+    }
+    let report = analysis::robustness_report(&campaigns);
+    // Everything between reading the first archive byte and having the report
+    // in hand — the quantity the speedup claim is about.
+    let reanalyze_secs = started.elapsed().as_secs_f64();
+
+    let per_event = |bytes: usize| bytes as f64 / events.max(1) as f64;
+    let throughput = |bytes: usize, secs: f64| {
+        if secs > 0.0 { bytes as f64 / secs / 1e6 } else { 0.0 }
+    };
+    let speedup = if reanalyze_secs > 0.0 { direct_secs / reanalyze_secs } else { 0.0 };
+    // Simulation vs archive decode: the cost of re-obtaining the
+    // SimulationOutput either way. The ingestion both paths share is
+    // excluded, so this is the number that keeps growing with campaign size.
+    let output_secs = read_secs + decode_secs;
+    let decode_speedup = if output_secs > 0.0 { sim_secs / output_secs } else { 0.0 };
+
+    eprintln!(
+        "# analyze finished in {:.1?}: {} events from {} archive bytes \
+         ({:.1} B/event archived vs {:.1} B/event resident)",
+        started.elapsed(),
+        events,
+        archive_bytes,
+        per_event(archive_bytes),
+        per_event(resident_bytes)
+    );
+    eprintln!(
+        "# re-analysis {reanalyze_secs:.3} s vs direct {direct_secs:.3} s -> {speedup:.1}x; \
+         decode {output_secs:.3} s vs simulate {sim_secs:.3} s -> {decode_speedup:.1}x \
+         (write {:.1} MB/s, read {:.1} MB/s)",
+        throughput(archive_bytes, encode_secs),
+        throughput(archive_bytes, decode_secs)
+    );
+    if table {
+        eprintln!("\n{}", report.summary_table());
+    }
+    if write_file {
+        let mut bench = jsonio::Json::object();
+        bench.insert("cells", campaigns.len() as u64);
+        bench.insert("events", events as u64);
+        bench.insert("archive_bytes", archive_bytes as u64);
+        bench.insert("archive_bytes_per_event", per_event(archive_bytes));
+        bench.insert("in_memory_bytes", resident_bytes as u64);
+        bench.insert("in_memory_bytes_per_event", per_event(resident_bytes));
+        bench.insert("write_mb_per_sec", throughput(archive_bytes, encode_secs));
+        bench.insert("read_mb_per_sec", throughput(archive_bytes, decode_secs));
+        bench.insert("read_secs", read_secs);
+        bench.insert("decode_secs", decode_secs);
+        bench.insert("reanalyze_secs", reanalyze_secs);
+        bench.insert("direct_secs", direct_secs);
+        bench.insert("sim_secs", sim_secs);
+        bench.insert("reanalyze_speedup", speedup);
+        bench.insert("decode_speedup", decode_speedup);
+        let mut text = bench.to_string_pretty();
+        text.push('\n');
+        if let Err(error) = std::fs::write(&bench_out, text) {
+            eprintln!("failed to write {bench_out}: {error}");
+            std::process::exit(1);
+        }
+        eprintln!("# archive bench (with timing) written to {bench_out}");
+    }
+    // stdout is the robustness report reconstructed from the archives alone —
+    // byte-identical to the `repro export` / `repro scenarios` output for the
+    // same configuration, with zero re-simulation.
     if pretty {
         println!("{}", report.to_json_string_pretty());
     } else {

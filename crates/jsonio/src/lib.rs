@@ -401,6 +401,14 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     }
 }
 
+/// Serialises a float as a JSON number.
+///
+/// JSON has no NaN/Infinity, so non-finite values have no faithful
+/// representation. They serialise as the sentinel `null` — the document stays
+/// valid JSON, but the value does **not** round-trip (it parses back as
+/// [`Json::Null`]). Reports are never supposed to contain non-finite floats;
+/// a debug assertion fires so an estimator emitting NaN is caught at the
+/// source instead of silently shipping a rewritten report.
 fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let text = v.to_string();
@@ -410,8 +418,11 @@ fn write_f64(out: &mut String, v: f64) {
             out.push_str(".0");
         }
     } else {
-        // JSON has no NaN/Infinity; exports never contain them, but never
-        // produce invalid documents.
+        debug_assert!(
+            false,
+            "serialising non-finite float {v} as the `null` sentinel; \
+             it will not round-trip (parses back as Json::Null)"
+        );
         out.push_str("null");
     }
 }
@@ -821,6 +832,41 @@ mod tests {
     fn float_output_stays_a_number() {
         assert_eq!(Json::Float(2.0).to_string_compact(), "2.0");
         assert_eq!(Json::parse("2.0").unwrap(), Json::Float(2.0));
-        assert_eq!(Json::Float(f64::NAN).to_string_compact(), "null");
+    }
+
+    // Non-finite floats: loud in debug builds, documented `null` sentinel in
+    // release builds. The sentinel deliberately does not round-trip — it
+    // parses back as Json::Null — and the debug assertion is what keeps that
+    // rewrite from ever happening silently.
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite float")]
+    fn nan_serialisation_is_loud_in_debug() {
+        let _ = Json::Float(f64::NAN).to_string_compact();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite float")]
+    fn positive_infinity_serialisation_is_loud_in_debug() {
+        let _ = Json::Float(f64::INFINITY).to_string_compact();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite float")]
+    fn negative_infinity_serialisation_is_loud_in_debug() {
+        let _ = Json::Float(f64::NEG_INFINITY).to_string_compact();
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn non_finite_floats_round_trip_to_the_null_sentinel() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Json::Float(v).to_string_compact();
+            assert_eq!(text, "null");
+            assert_eq!(Json::parse(&text).unwrap(), Json::Null);
+        }
     }
 }

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod crawler;
 pub mod dataset;
 pub mod monitor;
@@ -48,6 +49,10 @@ pub mod stream;
 pub mod sweep;
 pub mod vantage;
 
+pub use archive::{
+    analyze_suite, export_suite, read_campaign_archive, read_suite, write_campaign_archive,
+    AnalyzedCell, ArchivedCampaign, CampaignMeta, ExportedCell,
+};
 pub use crawler::{ActiveCrawler, CrawlSnapshot, CrawlSummary};
 pub use dataset::MeasurementDataset;
 pub use monitor::{GoIpfsMonitor, HydraMonitor};

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod config;
 pub mod dht;
 pub mod engine;
@@ -35,6 +36,7 @@ pub mod mailbox;
 pub mod obs;
 pub mod spec;
 
+pub use archive::{decode_output, encode_output, ArchiveError, ArchiveFile, ArchiveWriter};
 pub use config::{DhtRole, NetworkConfig, ObserverSpec};
 pub use dht::{dht_log_from_ground_truth, DhtConduct, DhtEvent, DhtLog, DhtReplay, DhtTracker, DhtView};
 pub use engine::{Network, SimulationOutput, SinkRun};

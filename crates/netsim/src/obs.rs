@@ -54,6 +54,33 @@ impl ObservationKind {
             _ => None,
         }
     }
+
+    /// Decodes a discriminant byte written by `kind as u8` — the inverse the
+    /// archive reader needs. Returns `None` for bytes no kind maps to.
+    pub fn from_u8(byte: u8) -> Option<ObservationKind> {
+        match byte {
+            0 => Some(ObservationKind::OpenedInbound),
+            1 => Some(ObservationKind::OpenedOutbound),
+            2 => Some(ObservationKind::Closed),
+            3 => Some(ObservationKind::Identify),
+            4 => Some(ObservationKind::Discovered),
+            _ => None,
+        }
+    }
+}
+
+/// Narrows a length to the dense `u32` id space the columnar pipeline uses.
+///
+/// Registry ids and table row indices are deliberately 4 bytes — that is
+/// where the 25 B/event figure comes from — so the pipeline caps out at
+/// 2^32 - 1 entries per id space. The 10M-peer full-protocol campaign logs
+/// ~108.7M events, two orders of magnitude below the cap, but a silent
+/// `as u32` wrap past 4.29B entries would corrupt every id after it; this
+/// guard turns that into a loud panic naming the exhausted space.
+fn dense_id(len: usize, space: &str) -> u32 {
+    u32::try_from(len).unwrap_or_else(|_| {
+        panic!("{space} capacity exceeded: {len} entries do not fit the dense u32 id space (max {})", u32::MAX)
+    })
 }
 
 /// Packs a [`CloseReason`] into the 4-byte payload column.
@@ -145,13 +172,53 @@ impl IdentifyRegistry {
         }
     }
 
+    /// Rebuilds a registry from its interned value vectors, in id order —
+    /// the archive reader's path. `peers[i]` gets slot `i`, `addrs[i]` id
+    /// `i`, `infos[i]` id `i`, exactly as the original interning handed them
+    /// out, so every id stored in an archived [`ObservationTable`] resolves
+    /// to the same value it was created from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector contains a duplicate value: interning guarantees
+    /// distinctness, so a duplicate means the dictionary data is not a
+    /// registry image.
+    pub fn from_parts(peers: Vec<PeerId>, addrs: Vec<Multiaddr>, infos: Vec<IdentifyInfo>) -> Self {
+        let peer_slots: HashMap<PeerId, u32> = peers
+            .iter()
+            .enumerate()
+            .map(|(slot, peer)| (*peer, dense_id(slot, "IdentifyRegistry peer-slot")))
+            .collect();
+        assert_eq!(peer_slots.len(), peers.len(), "duplicate peer in registry image");
+        let addr_ids: HashMap<Multiaddr, u32> = addrs
+            .iter()
+            .enumerate()
+            .map(|(id, addr)| (*addr, dense_id(id, "IdentifyRegistry address-id")))
+            .collect();
+        assert_eq!(addr_ids.len(), addrs.len(), "duplicate address in registry image");
+        let info_ids: HashMap<IdentifyInfo, u32> = infos
+            .iter()
+            .enumerate()
+            .map(|(id, info)| (info.clone(), dense_id(id, "IdentifyRegistry identify-id")))
+            .collect();
+        assert_eq!(info_ids.len(), infos.len(), "duplicate identify payload in registry image");
+        IdentifyRegistry {
+            peers,
+            peer_slots,
+            addrs,
+            addr_ids,
+            infos,
+            info_ids,
+        }
+    }
+
     /// Registers a peer and returns its slot; registering the same peer
     /// again returns the existing slot.
     pub fn register_peer(&mut self, peer: PeerId) -> u32 {
         if let Some(&slot) = self.peer_slots.get(&peer) {
             return slot;
         }
-        let slot = self.peers.len() as u32;
+        let slot = dense_id(self.peers.len(), "IdentifyRegistry peer-slot");
         self.peers.push(peer);
         self.peer_slots.insert(peer, slot);
         slot
@@ -181,7 +248,7 @@ impl IdentifyRegistry {
         if let Some(&id) = self.addr_ids.get(&addr) {
             return id;
         }
-        let id = self.addrs.len() as u32;
+        let id = dense_id(self.addrs.len(), "IdentifyRegistry address-id");
         self.addrs.push(addr);
         self.addr_ids.insert(addr, id);
         id
@@ -208,7 +275,7 @@ impl IdentifyRegistry {
         if let Some(&id) = self.info_ids.get(info) {
             return id;
         }
-        let id = self.infos.len() as u32;
+        let id = dense_id(self.infos.len(), "IdentifyRegistry identify-id");
         self.infos.push(info.clone());
         self.info_ids.insert(info.clone(), id);
         id
@@ -412,13 +479,81 @@ impl ObservationTable {
         if self.is_sorted_by_time() {
             return;
         }
-        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        let n = self.len();
+        let _ = dense_id(n, "ObservationTable row-index");
+        let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_by_key(|&i| self.at[i as usize]);
-        self.at = order.iter().map(|&i| self.at[i as usize]).collect();
-        self.kind = order.iter().map(|&i| self.kind[i as usize]).collect();
-        self.peer_slot = order.iter().map(|&i| self.peer_slot[i as usize]).collect();
-        self.conn = order.iter().map(|&i| self.conn[i as usize]).collect();
-        self.payload = order.iter().map(|&i| self.payload[i as usize]).collect();
+        // Apply the permutation in place by walking its cycles: each row is
+        // written exactly once, the columns keep their allocations, and the
+        // scratch space is the order vec plus one visited bit per row —
+        // instead of five freshly collected column copies (which doubled
+        // peak memory on the archive write path).
+        let mut visited = vec![false; n];
+        for start in 0..n {
+            if visited[start] || order[start] as usize == start {
+                visited[start] = true;
+                continue;
+            }
+            let tmp = (
+                self.at[start],
+                self.kind[start],
+                self.peer_slot[start],
+                self.conn[start],
+                self.payload[start],
+            );
+            let mut dst = start;
+            loop {
+                let src = order[dst] as usize;
+                visited[dst] = true;
+                if src == start {
+                    self.at[dst] = tmp.0;
+                    self.kind[dst] = tmp.1;
+                    self.peer_slot[dst] = tmp.2;
+                    self.conn[dst] = tmp.3;
+                    self.payload[dst] = tmp.4;
+                    break;
+                }
+                self.at[dst] = self.at[src];
+                self.kind[dst] = self.kind[src];
+                self.peer_slot[dst] = self.peer_slot[src];
+                self.conn[dst] = self.conn[src];
+                self.payload[dst] = self.payload[src];
+                dst = src;
+            }
+        }
+    }
+
+    /// Reassembles a table from raw column vectors — the archive reader's
+    /// path. The columns must be parallel (equal lengths) and are adopted
+    /// as-is; pair with the column accessors ([`Self::ats`] & co.) on the
+    /// write side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column lengths disagree.
+    pub fn from_columns(
+        at: Vec<SimTime>,
+        kind: Vec<ObservationKind>,
+        peer_slot: Vec<u32>,
+        conn: Vec<u64>,
+        payload: Vec<u32>,
+    ) -> Self {
+        let n = at.len();
+        assert!(
+            kind.len() == n && peer_slot.len() == n && conn.len() == n && payload.len() == n,
+            "observation columns must be parallel: at={n} kind={} peer_slot={} conn={} payload={}",
+            kind.len(),
+            peer_slot.len(),
+            conn.len(),
+            payload.len()
+        );
+        ObservationTable {
+            at,
+            kind,
+            peer_slot,
+            conn,
+            payload,
+        }
     }
 
     /// FNV-1a checksum over all columns — a cheap, order-sensitive
@@ -699,6 +834,67 @@ mod tests {
     }
 
     #[test]
+    fn dense_id_guard_accepts_the_full_u32_space() {
+        assert_eq!(dense_id(0, "test"), 0);
+        assert_eq!(dense_id(u32::MAX as usize, "test"), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "IdentifyRegistry peer-slot capacity exceeded")]
+    fn dense_id_guard_panics_loudly_past_u32() {
+        let _ = dense_id(u32::MAX as usize + 1, "IdentifyRegistry peer-slot");
+    }
+
+    #[test]
+    fn registry_rebuilds_from_parts_with_identical_ids() {
+        let mut reg = IdentifyRegistry::new();
+        let p0 = PeerId::derived(1);
+        let p1 = PeerId::derived(2);
+        reg.register_peer(p0);
+        reg.register_peer(p1);
+        reg.intern_addr(addr(7));
+        reg.intern_addr(addr(9));
+        let i0 = reg.intern_identify(&info("go-ipfs/0.11.0/"));
+
+        let peers: Vec<PeerId> = (0..reg.peer_count() as u32).map(|s| reg.peer(s)).collect();
+        let addrs: Vec<Multiaddr> = (0..reg.addr_count() as u32).map(|a| reg.addr(a)).collect();
+        let infos: Vec<IdentifyInfo> =
+            (0..reg.identify_count() as u32).map(|i| reg.identify(i).clone()).collect();
+        let rebuilt = IdentifyRegistry::from_parts(peers, addrs, infos);
+
+        assert_eq!(rebuilt.slot_of(&p0), reg.slot_of(&p0));
+        assert_eq!(rebuilt.slot_of(&p1), reg.slot_of(&p1));
+        assert_eq!(rebuilt.addr(1), addr(9));
+        assert_eq!(rebuilt.identify(i0), reg.identify(i0));
+        // And interning continues where the original left off.
+        let mut rebuilt = rebuilt;
+        assert_eq!(rebuilt.intern_addr(addr(7)), 0);
+        assert_eq!(rebuilt.intern_addr(addr(11)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate peer in registry image")]
+    fn registry_from_parts_rejects_duplicates() {
+        let p = PeerId::derived(3);
+        let _ = IdentifyRegistry::from_parts(vec![p, p], Vec::new(), Vec::new());
+    }
+
+    #[test]
+    fn observation_kind_byte_roundtrip() {
+        for kind in [
+            ObservationKind::OpenedInbound,
+            ObservationKind::OpenedOutbound,
+            ObservationKind::Closed,
+            ObservationKind::Identify,
+            ObservationKind::Discovered,
+        ] {
+            assert_eq!(ObservationKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(ObservationKind::from_u8(5), None);
+        assert_eq!(ObservationKind::from_u8(255), None);
+    }
+
+    #[test]
     fn close_reason_payload_roundtrip() {
         for reason in [
             CloseReason::TrimmedLocal,
@@ -746,6 +942,63 @@ mod tests {
         // FIFO tie-break: slot 1 (payload 0) stays before slot 3 (payload 2).
         assert_eq!(table.peer_slots(), &[2, 1, 3]);
         assert_eq!(table.payloads(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn in_place_sort_matches_materialising_permutation_and_keeps_allocations() {
+        // A deliberately shuffled table with timestamp ties.
+        let mut table = ObservationTable::new();
+        let times = [9u64, 2, 7, 2, 9, 1, 7, 7, 3, 0, 2, 9];
+        for (i, &t) in times.iter().enumerate() {
+            table.identify_received(SimTime::from_secs(t), i as u32, i as u32 + 100);
+        }
+
+        // Reference result: the old materialising permutation.
+        let mut order: Vec<usize> = (0..table.len()).collect();
+        order.sort_by_key(|&i| table.ats()[i]);
+        let want_at: Vec<SimTime> = order.iter().map(|&i| table.ats()[i]).collect();
+        let want_slots: Vec<u32> = order.iter().map(|&i| table.peer_slots()[i]).collect();
+        let want_payloads: Vec<u32> = order.iter().map(|&i| table.payloads()[i]).collect();
+
+        let at_ptr = table.ats().as_ptr();
+        let conn_ptr = table.conns().as_ptr();
+        table.stable_sort_by_time();
+        assert!(table.is_sorted_by_time());
+        assert_eq!(table.ats(), &want_at[..]);
+        assert_eq!(table.peer_slots(), &want_slots[..]);
+        assert_eq!(table.payloads(), &want_payloads[..]);
+        // In place: the columns still live in their original allocations.
+        assert_eq!(table.ats().as_ptr(), at_ptr);
+        assert_eq!(table.conns().as_ptr(), conn_ptr);
+    }
+
+    #[test]
+    fn table_rebuilds_from_columns() {
+        let mut table = ObservationTable::new();
+        table.connection_opened(SimTime::from_secs(1), ConnectionId(9), 3, Direction::Inbound, 11);
+        table.identify_received(SimTime::from_secs(2), 3, 5);
+        table.connection_closed(SimTime::from_secs(4), ConnectionId(9), 3, CloseReason::PeerLeft);
+        let rebuilt = ObservationTable::from_columns(
+            table.ats().to_vec(),
+            table.kinds().to_vec(),
+            table.peer_slots().to_vec(),
+            table.conns().to_vec(),
+            table.payloads().to_vec(),
+        );
+        assert_eq!(rebuilt, table);
+        assert_eq!(rebuilt.checksum(), table.checksum());
+    }
+
+    #[test]
+    #[should_panic(expected = "observation columns must be parallel")]
+    fn from_columns_rejects_ragged_columns() {
+        let _ = ObservationTable::from_columns(
+            vec![SimTime::ZERO],
+            Vec::new(),
+            vec![0],
+            vec![NO_CONN],
+            vec![0],
+        );
     }
 
     #[test]
