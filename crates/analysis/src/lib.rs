@@ -60,9 +60,10 @@ pub use robustness::{
     RobustnessReport, RobustnessRow,
 };
 pub use stream::{
-    analyze_stream, hist_summary, stream_capture_rows, stream_classify_peers,
-    stream_connection_stats, stream_direction_stats, stream_estimates, stream_ip_grouping,
-    stream_network_size, stream_report, stream_time_series, StreamAnalysis, StreamEstimates,
+    analyze_stream, answer_stream_query, hist_summary, serve_answerer, stream_capture_rows,
+    stream_classify_peers, stream_connection_stats, stream_direction_stats, stream_estimates,
+    stream_ip_grouping, stream_network_size, stream_report, stream_summary_json,
+    stream_time_series, stream_window_rows, StreamAnalysis, StreamEstimates,
     StreamReport, StreamTimeSeries,
 };
 pub use survival::{

@@ -30,7 +30,7 @@ use crate::netsize::{
 use crate::report;
 use crate::vantage::{accumulation_rows, VantageCountRow};
 use jsonio::Json;
-use measurement::{StreamSummary, StreamingCampaign};
+use measurement::{sliding_windows, StreamSummary, StreamingCampaign};
 use p2pmodel::{IpAddress, PeerId};
 use simclock::{Summary, TimeSeries};
 use std::collections::BTreeMap;
@@ -338,23 +338,7 @@ pub fn analyze_stream(campaign: &StreamingCampaign) -> StreamAnalysis {
     } else {
         Vec::new()
     };
-    let windows = primary
-        .panes
-        .iter()
-        .map(|w| WindowRow {
-            index: w.index,
-            start_secs: w.start.as_secs(),
-            opened: w.opened,
-            closed: w.closed,
-            identifies: w.identifies,
-            discoveries: w.discoveries,
-            active_peers: w.active_peers,
-            mean_duration_secs: w.mean_duration_secs(),
-            open_connections: w.open_connections,
-            known_pids: w.known_pids,
-            connected_pids: w.connected_pids,
-        })
-        .collect();
+    let windows = stream_window_rows(primary);
     StreamAnalysis {
         scenario: campaign.batch.scenario.churn.label().to_string(),
         period: campaign.batch.scenario.period.label().to_string(),
@@ -371,6 +355,27 @@ pub fn analyze_stream(campaign: &StreamingCampaign) -> StreamAnalysis {
         capture,
         truth_pids: campaign.batch.ground_truth.population_size(),
     }
+}
+
+/// Renders the primary stream's pane series in the report's row shape.
+pub fn stream_window_rows(summary: &StreamSummary) -> Vec<WindowRow> {
+    summary
+        .panes
+        .iter()
+        .map(|w| WindowRow {
+            index: w.index,
+            start_secs: w.start.as_secs(),
+            opened: w.opened,
+            closed: w.closed,
+            identifies: w.identifies,
+            discoveries: w.discoveries,
+            active_peers: w.active_peers,
+            mean_duration_secs: w.mean_duration_secs(),
+            open_connections: w.open_connections,
+            known_pids: w.known_pids,
+            connected_pids: w.connected_pids,
+        })
+        .collect()
 }
 
 impl StreamAnalysis {
@@ -397,7 +402,25 @@ impl StreamAnalysis {
                     .collect(),
             ),
         );
-        let e = &self.estimates;
+        insert_estimates(&mut obj, &self.estimates);
+        obj.insert(
+            "windows",
+            Json::Array(self.windows.iter().map(window_row_json).collect()),
+        );
+        obj.insert(
+            "capture",
+            Json::Array(self.capture.iter().map(capture_row_json).collect()),
+        );
+        obj
+    }
+}
+
+/// Inserts the five estimate sections (`connection_stats`,
+/// `direction_stats`, `ip_grouping`, `classification`, `netsize`) into a
+/// JSON object — shared between the batch report and the serve daemon's
+/// per-summary answers so both render byte-identically.
+fn insert_estimates(obj: &mut Json, e: &StreamEstimates) {
+    {
         let mut stats = Json::object();
         stats.insert("client", e.connections.client.as_str());
         stats.insert("all_sum", e.connections.all_sum);
@@ -456,35 +479,147 @@ impl StreamAnalysis {
         netsize.insert("core_lower_bound", n.core_lower_bound);
         netsize.insert("max_simultaneous_connections", n.max_simultaneous_connections);
         obj.insert("netsize", netsize);
-        obj.insert(
-            "windows",
-            Json::Array(
-                self.windows
-                    .iter()
-                    .map(|w| {
-                        let mut row = Json::object();
-                        row.insert("index", w.index);
-                        row.insert("start_secs", w.start_secs);
-                        row.insert("opened", w.opened);
-                        row.insert("closed", w.closed);
-                        row.insert("identifies", w.identifies);
-                        row.insert("discoveries", w.discoveries);
-                        row.insert("active_peers", w.active_peers);
-                        row.insert("mean_duration_secs", w.mean_duration_secs);
-                        row.insert("open_connections", w.open_connections);
-                        row.insert("known_pids", w.known_pids);
-                        row.insert("connected_pids", w.connected_pids);
-                        row
-                    })
-                    .collect(),
-            ),
-        );
-        obj.insert(
-            "capture",
-            Json::Array(self.capture.iter().map(capture_row_json).collect()),
-        );
-        obj
     }
+}
+
+fn window_row_json(w: &WindowRow) -> Json {
+    let mut row = Json::object();
+    row.insert("index", w.index);
+    row.insert("start_secs", w.start_secs);
+    row.insert("opened", w.opened);
+    row.insert("closed", w.closed);
+    row.insert("identifies", w.identifies);
+    row.insert("discoveries", w.discoveries);
+    row.insert("active_peers", w.active_peers);
+    row.insert("mean_duration_secs", w.mean_duration_secs);
+    row.insert("open_connections", w.open_connections);
+    row.insert("known_pids", w.known_pids);
+    row.insert("connected_pids", w.connected_pids);
+    row
+}
+
+/// Renders one summary's cumulative surface as JSON: identity, counters,
+/// the five estimate sections and the compact pane series — the serve
+/// daemon's `summary` answer, byte-identical to the matching sections of
+/// the batch [`StreamReport`] because both go through the same estimate
+/// and pane-row encoders.
+pub fn stream_summary_json(summary: &StreamSummary) -> Json {
+    let mut obj = Json::object();
+    obj.insert("observer", summary.observer.as_str());
+    obj.insert("dht_server", summary.dht_server);
+    obj.insert("window_secs", summary.window.as_secs());
+    obj.insert("events", summary.events);
+    obj.insert("pids", summary.pids);
+    obj.insert("connections", summary.connections);
+    obj.insert("max_open_connections", summary.max_open_connections);
+    insert_estimates(&mut obj, &stream_estimates(summary));
+    obj.insert(
+        "windows",
+        Json::Array(
+            stream_window_rows(summary)
+                .iter()
+                .map(window_row_json)
+                .collect(),
+        ),
+    );
+    obj
+}
+
+fn series_json(series: &TimeSeries) -> Json {
+    Json::Array(
+        series
+            .points()
+            .iter()
+            .map(|&(t, v)| {
+                let mut point = Json::array();
+                point.push(t);
+                point.push(v);
+                point
+            })
+            .collect(),
+    )
+}
+
+/// Answers one serve-daemon query against a finalised summary. The query's
+/// `kind` selects the answer shape:
+///
+/// * `"summary"` (the default) — [`stream_summary_json`];
+/// * `"network_size"` — just the §V network-size estimate;
+/// * `"sliding_windows"` — the [`measurement::sliding_windows`] merges over
+///   the summary's retained full window states, `panes` panes wide
+///   (default 2): one row per retained pane with the merged counters —
+///   only possible while the monitor retains full `WindowState`s
+///   (`retained_panes > 0`);
+/// * `"time_series"` — the four per-pane series of
+///   [`stream_time_series`] as `[t, value]` pairs.
+pub fn answer_stream_query(summary: &StreamSummary, query: &Json) -> Result<Json, String> {
+    let kind = match query.get("kind") {
+        None => "summary",
+        Some(k) => k
+            .as_str()
+            .ok_or_else(|| "query kind must be a string".to_string())?,
+    };
+    match kind {
+        "summary" => Ok(stream_summary_json(summary)),
+        "network_size" => {
+            let n = stream_network_size(summary);
+            let mut netsize = Json::object();
+            netsize.insert("by_pids", n.by_pids);
+            netsize.insert("by_ip_groups", n.by_ip_groups);
+            netsize.insert("core_lower_bound", n.core_lower_bound);
+            netsize.insert("max_simultaneous_connections", n.max_simultaneous_connections);
+            Ok(netsize)
+        }
+        "sliding_windows" => {
+            let panes = match query.get("panes") {
+                None => 2,
+                Some(p) => usize::try_from(
+                    p.as_u64()
+                        .ok_or_else(|| "query panes must be an integer".to_string())?,
+                )
+                .map_err(|_| "query panes out of range".to_string())?,
+            };
+            let panes = panes.max(1);
+            let snapshots = &summary.recent_windows;
+            let merged = sliding_windows(snapshots, panes);
+            let mut rows = Json::array();
+            for (i, state) in merged.iter().enumerate() {
+                let lo = (i + 1).saturating_sub(panes);
+                let mut row = Json::object();
+                row.insert("index", snapshots[i].index);
+                row.insert("start_secs", snapshots[lo].start.as_secs());
+                row.insert("end_secs", snapshots[i].end.as_secs());
+                row.insert("opened", state.opened);
+                row.insert("closed", state.closed);
+                row.insert("identifies", state.identifies);
+                row.insert("discoveries", state.discoveries);
+                row.insert("active_peers", state.active_peers());
+                row.insert("mean_duration_secs", state.mean_duration_secs());
+                rows.push(row);
+            }
+            let mut obj = Json::object();
+            obj.insert("panes", panes as u64);
+            obj.insert("windows", rows);
+            Ok(obj)
+        }
+        "time_series" => {
+            let series = stream_time_series(summary);
+            let mut obj = Json::object();
+            obj.insert("closed_connections", series_json(&series.closed_connections));
+            obj.insert("active_peers", series_json(&series.active_peers));
+            obj.insert("open_connections", series_json(&series.open_connections));
+            obj.insert("known_pids", series_json(&series.known_pids));
+            Ok(obj)
+        }
+        other => Err(format!("unknown query kind {other:?}")),
+    }
+}
+
+/// The production [`QueryAnswerer`](measurement::QueryAnswerer) for the
+/// serve daemon: [`answer_stream_query`] behind the injection point
+/// `measurement::serve` exposes.
+pub fn serve_answerer() -> measurement::QueryAnswerer {
+    std::sync::Arc::new(answer_stream_query)
 }
 
 fn capture_row_json(row: &VantageCountRow) -> Json {

@@ -103,6 +103,25 @@
 //! cargo run --release -p bench --bin repro -- analyze --dir archives --threads 8
 //! ```
 //!
+//! The `serve` subcommand hosts the long-lived multi-tenant monitor daemon
+//! (`measurement::serve`) and its load drivers. `--listen` runs the daemon on
+//! a Unix socket (with optional checkpointing for crash recovery), `--drive`
+//! streams simulated campaigns into a running daemon and prints its answers,
+//! `--reference` computes the identical answers in-process (the CI smoke job
+//! byte-compares the two), and `--bench` runs the N-concurrent-feed load
+//! harness writing ingest-throughput and query-latency numbers to
+//! `BENCH_serve.json`:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin repro -- serve --listen /tmp/repro.sock \
+//!     --checkpoint /tmp/repro.ck --checkpoint-every 16
+//! cargo run --release -p bench --bin repro -- serve --drive /tmp/repro.sock \
+//!     --period P2 --scenarios baseline,flashcrowd --shutdown
+//! cargo run --release -p bench --bin repro -- serve --reference --period P2 \
+//!     --scenarios baseline,flashcrowd
+//! cargo run --release -p bench --bin repro -- serve --bench --tenants 1000
+//! ```
+//!
 //! Sweep, scenario, vantage, scale, stream, estimators, crawl, export and analyze stdout is deterministic: the same configuration
 //! produces byte-identical JSON regardless of `--threads` (timing numbers go
 //! to the `BENCH_*.json` files and stderr only).
@@ -206,6 +225,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("analyze") {
         run_analyze_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve_command(&args[1..]);
         return;
     }
     let options = parse_args();
@@ -1887,4 +1910,354 @@ fn run_scenarios_command(args: &[String]) {
     } else {
         println!("{}", report.to_json_string());
     }
+}
+
+// ---- the `serve` subcommand ------------------------------------------------
+
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage:\n\
+         repro serve --listen SOCK [--checkpoint FILE] [--checkpoint-every N] [--restore FILE]\n\
+         repro serve --drive SOCK [--period P2] [--scale 0.005] [--seed N] [--window-hours 6] \
+         [--scenarios baseline,...] [--batch-rows 512] [--resume] [--max-batches N] [--shutdown]\n\
+         repro serve --reference [--period P2] [--scale 0.005] [--seed N] [--window-hours 6] \
+         [--scenarios baseline,...]\n\
+         repro serve --bench [--tenants 1000] [--events 240] [--batch-rows 48] [--queries 1000] \
+         [--seed N] [--out BENCH_serve.json] [--no-file]"
+    );
+    std::process::exit(2);
+}
+
+struct ServeSimFlags {
+    period: MeasurementPeriod,
+    scale: f64,
+    seed: u64,
+    window_hours: u64,
+    scenarios: Vec<ChurnScenario>,
+}
+
+impl ServeSimFlags {
+    fn feeds(&self) -> Vec<bench::serve::ServeFeed> {
+        bench::serve::campaign_feeds(
+            self.period,
+            self.scale,
+            self.seed,
+            SimDuration::from_hours(self.window_hours),
+            &self.scenarios,
+        )
+    }
+}
+
+fn run_serve_command(args: &[String]) {
+    if args.iter().any(|a| a == "--listen") {
+        run_serve_daemon(args);
+    } else if args.iter().any(|a| a == "--drive") {
+        run_serve_drive(args);
+    } else if args.iter().any(|a| a == "--reference") {
+        run_serve_reference(args);
+    } else if args.iter().any(|a| a == "--bench") {
+        run_serve_bench_command(args);
+    } else {
+        serve_usage();
+    }
+}
+
+fn run_serve_daemon(args: &[String]) {
+    use measurement::serve::{ServeOptions, ServeState};
+
+    let mut listen: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut restore: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| serve_usage())
+        };
+        match args[i].as_str() {
+            "--listen" => {
+                listen = Some(take(i).to_string());
+                i += 2;
+            }
+            "--checkpoint" => {
+                checkpoint = Some(take(i).to_string());
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = Some(take(i).parse().unwrap_or_else(|_| serve_usage()));
+                i += 2;
+            }
+            "--restore" => {
+                restore = Some(take(i).to_string());
+                i += 2;
+            }
+            _ => serve_usage(),
+        }
+    }
+    let listen = listen.unwrap_or_else(|| serve_usage());
+
+    let options = ServeOptions {
+        checkpoint_path: checkpoint.map(std::path::PathBuf::from),
+        checkpoint_every,
+    };
+    let state = match restore {
+        Some(path) => {
+            let bytes = std::fs::read(&path).unwrap_or_else(|error| {
+                eprintln!("failed to read checkpoint {path}: {error}");
+                std::process::exit(1);
+            });
+            let state = ServeState::restore(&bytes, analysis::serve_answerer(), options)
+                .unwrap_or_else(|error| {
+                    eprintln!("failed to restore checkpoint {path}: {error}");
+                    std::process::exit(1);
+                });
+            eprintln!(
+                "# serve: restored {} tenant(s), {} event(s) from {path}",
+                state.tenant_count(),
+                state.events_ingested()
+            );
+            state
+        }
+        None => ServeState::new(analysis::serve_answerer(), options),
+    };
+    eprintln!("# serve: listening on {listen}");
+    let shared = std::sync::Arc::new(std::sync::Mutex::new(state));
+    if let Err(error) = measurement::serve_unix(std::path::Path::new(&listen), shared) {
+        eprintln!("serve failed: {error}");
+        std::process::exit(1);
+    }
+    eprintln!("# serve: shutdown complete");
+}
+
+#[cfg(unix)]
+fn run_serve_drive(args: &[String]) {
+    use bench::serve::{drive_feeds, DriveOptions};
+
+    let mut sock: Option<String> = None;
+    let mut sim = ServeSimFlags {
+        period: MeasurementPeriod::P2,
+        scale: 0.005,
+        seed: 1975,
+        window_hours: 6,
+        scenarios: vec![ChurnScenario::Baseline],
+    };
+    let mut options = DriveOptions {
+        batch_rows: 512,
+        resume: false,
+        max_batches: None,
+        shutdown: false,
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| serve_usage())
+        };
+        match args[i].as_str() {
+            "--drive" => {
+                sock = Some(take(i).to_string());
+                i += 2;
+            }
+            "--period" => {
+                sim.period =
+                    MeasurementPeriod::from_label(take(i)).unwrap_or_else(|| serve_usage());
+                i += 2;
+            }
+            "--scale" => {
+                sim.scale = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--seed" => {
+                sim.seed = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--window-hours" => {
+                sim.window_hours = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--scenarios" => {
+                sim.scenarios = parse_scenarios(take(i));
+                i += 2;
+            }
+            "--batch-rows" => {
+                options.batch_rows = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--max-batches" => {
+                options.max_batches = Some(take(i).parse().unwrap_or_else(|_| serve_usage()));
+                i += 2;
+            }
+            "--resume" => {
+                options.resume = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                options.shutdown = true;
+                i += 1;
+            }
+            _ => serve_usage(),
+        }
+    }
+    let sock = sock.unwrap_or_else(|| serve_usage());
+    if sim.scenarios.is_empty() || sim.window_hours == 0 || options.batch_rows == 0 {
+        serve_usage();
+    }
+
+    eprintln!(
+        "# serve --drive: {} on {} at scale {}, seed {}",
+        sock,
+        sim.period,
+        sim.scale,
+        sim.seed
+    );
+    let feeds = sim.feeds();
+    eprintln!("# serve --drive: {} feed(s) built, streaming", feeds.len());
+    let mut stream = std::os::unix::net::UnixStream::connect(&sock).unwrap_or_else(|error| {
+        eprintln!("failed to connect to {sock}: {error}");
+        std::process::exit(1);
+    });
+    let answers = drive_feeds(&mut stream, &feeds, &options).unwrap_or_else(|error| {
+        eprintln!("drive failed: {error}");
+        std::process::exit(1);
+    });
+    if options.max_batches.is_some() {
+        eprintln!("# serve --drive: partial ingest done (no finish sent)");
+    } else {
+        println!("{}", answers.to_string_pretty());
+    }
+}
+
+#[cfg(not(unix))]
+fn run_serve_drive(_args: &[String]) {
+    eprintln!("serve --drive requires unix-domain sockets");
+    std::process::exit(1);
+}
+
+fn run_serve_reference(args: &[String]) {
+    let mut sim = ServeSimFlags {
+        period: MeasurementPeriod::P2,
+        scale: 0.005,
+        seed: 1975,
+        window_hours: 6,
+        scenarios: vec![ChurnScenario::Baseline],
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| serve_usage())
+        };
+        match args[i].as_str() {
+            "--reference" => {
+                i += 1;
+            }
+            "--period" => {
+                sim.period =
+                    MeasurementPeriod::from_label(take(i)).unwrap_or_else(|| serve_usage());
+                i += 2;
+            }
+            "--scale" => {
+                sim.scale = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--seed" => {
+                sim.seed = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--window-hours" => {
+                sim.window_hours = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--scenarios" => {
+                sim.scenarios = parse_scenarios(take(i));
+                i += 2;
+            }
+            _ => serve_usage(),
+        }
+    }
+    if sim.scenarios.is_empty() || sim.window_hours == 0 {
+        serve_usage();
+    }
+
+    eprintln!(
+        "# serve --reference: {} at scale {}, seed {}",
+        sim.period, sim.scale, sim.seed
+    );
+    let feeds = sim.feeds();
+    eprintln!("# serve --reference: {} feed(s) built", feeds.len());
+    println!("{}", bench::serve::reference_answers(&feeds).to_string_pretty());
+}
+
+fn run_serve_bench_command(args: &[String]) {
+    use bench::serve::{run_serve_bench, ServeBenchConfig};
+
+    let mut cfg = ServeBenchConfig::default();
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut write_file = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| serve_usage())
+        };
+        match args[i].as_str() {
+            "--bench" => {
+                i += 1;
+            }
+            "--tenants" => {
+                cfg.tenants = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--events" => {
+                cfg.events_per_tenant = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--batch-rows" => {
+                cfg.batch_rows = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--queries" => {
+                cfg.queries = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = take(i).parse().unwrap_or_else(|_| serve_usage());
+                i += 2;
+            }
+            "--out" => {
+                out_path = take(i).to_string();
+                i += 2;
+            }
+            "--no-file" => {
+                write_file = false;
+                i += 1;
+            }
+            _ => serve_usage(),
+        }
+    }
+    if cfg.tenants == 0 || cfg.events_per_tenant == 0 || cfg.batch_rows == 0 {
+        serve_usage();
+    }
+
+    eprintln!(
+        "# serve --bench: {} tenants x {} events, {}-row batches, {} queries",
+        cfg.tenants, cfg.events_per_tenant, cfg.batch_rows, cfg.queries
+    );
+    let report = run_serve_bench(&cfg, |round, rounds| {
+        eprintln!("# serve --bench: ingest round {round}/{rounds}");
+    });
+    eprintln!("# {}", report.summary());
+    if write_file {
+        let mut text = report.full_json().to_string_pretty();
+        text.push('\n');
+        if let Err(error) = std::fs::write(&out_path, text) {
+            eprintln!("failed to write {out_path}: {error}");
+            std::process::exit(1);
+        }
+        eprintln!("# full report (with timing) written to {out_path}");
+    }
+    // stdout carries only the deterministic fields, so runs at different
+    // thread counts can be compared byte-for-byte.
+    println!("{}", report.deterministic_json().to_string_pretty());
 }

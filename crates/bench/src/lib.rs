@@ -10,6 +10,7 @@
 
 pub mod estimators;
 pub mod scale;
+pub mod serve;
 pub mod stream;
 
 use measurement::{run_period, MeasurementCampaign};

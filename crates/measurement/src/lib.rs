@@ -28,6 +28,11 @@
 //! * [`replicate`] reruns one vantage suite under R deterministically
 //!   derived seeds — the independent realisations the estimator
 //!   calibration lab (`analysis::calibration`) measures coverage over.
+//! * [`serve`] wraps the streaming engine in a long-lived multi-tenant
+//!   daemon (`repro serve`): one [`StreamingMonitor`] per named feed,
+//!   ingesting columnar event batches over a length-prefixed frame
+//!   protocol, answering live queries and checkpointing/restoring the
+//!   whole tenant table for crash recovery.
 //! * [`stream`] is the single-pass alternative to materialised data sets: a
 //!   [`StreamingMonitor`] consumes the engine's emissions live (teed next to
 //!   the classic pipeline) and maintains sliding/tumbling-window state in
@@ -45,6 +50,7 @@ pub(crate) mod parallel;
 pub mod record;
 pub mod replicate;
 pub mod runner;
+pub mod serve;
 pub mod stream;
 pub mod sweep;
 pub mod vantage;
@@ -61,6 +67,11 @@ pub use replicate::{replicate_seed, run_replicated_vantage_suite, ReplicateSuite
 pub use runner::{
     campaign_from_output, run_built, run_built_full_protocol, run_period,
     run_period_full_protocol, run_scenario, run_scenario_suite, MeasurementCampaign,
+};
+pub use serve::{
+    config_from_json, config_to_json, debug_answerer, read_frame, serve_connection, serve_unix,
+    write_frame, Frame, QueryAnswerer, ServeOptions, ServeState, FRAME_CONTROL, FRAME_EVENTS,
+    FRAME_REGISTRY, MAX_FRAME_LEN,
 };
 pub use stream::{
     batch_resident_bytes, run_stream_suite, run_streaming_built, run_streaming_campaign,

@@ -36,6 +36,7 @@
 use crate::monitor::{quantise_up, GoIpfsMonitor, HydraMonitor};
 use crate::parallel::run_parallel_ordered;
 use crate::runner::{campaign_from_output, MeasurementCampaign};
+use netsim::archive::{ArchiveError, ByteReader, ByteWriter};
 use netsim::obs::close_reason_from_payload;
 use netsim::{
     IdentifyRegistry, ObservationKind, ObservationSink, ObservationTable, ObserverLog, SinkRun,
@@ -412,9 +413,58 @@ impl DurationStore {
     fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
         match self {
-            DurationStore::Exact(values) => values.capacity() * size_of::<u64>(),
+            DurationStore::Exact(values) => values.len() * size_of::<u64>(),
             DurationStore::LogBucketed { counts, .. } => {
                 counts.len() * (size_of::<u32>() + size_of::<u64>() + 16)
+            }
+        }
+    }
+
+    /// Serialises the store contents (the mode lives in the config, so only
+    /// the values travel). Exact stores keep insertion order — the restored
+    /// store must be indistinguishable from the uninterrupted one.
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            DurationStore::Exact(values) => {
+                w.put_uvarint(values.len() as u64);
+                for &v in values {
+                    w.put_uvarint(v);
+                }
+            }
+            DurationStore::LogBucketed { counts, .. } => {
+                w.put_uvarint(counts.len() as u64);
+                for (&bucket, &count) in counts {
+                    w.put_uvarint(bucket as u64);
+                    w.put_uvarint(count);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>, mode: DurationMode) -> Result<Self, ArchiveError> {
+        match mode {
+            DurationMode::Exact => {
+                let count = r.len("duration store count")?;
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(r.uvarint("duration value")?);
+                }
+                Ok(DurationStore::Exact(values))
+            }
+            DurationMode::LogBucketed => {
+                let count = r.len("duration bucket count")?;
+                let mut counts = BTreeMap::new();
+                for _ in 0..count {
+                    let bucket = r.uvarint("duration bucket")?;
+                    let bucket = u32::try_from(bucket).map_err(|_| ArchiveError::Malformed {
+                        context: format!("duration bucket {bucket} exceeds u32"),
+                    })?;
+                    counts.insert(bucket, r.uvarint("duration bucket value")?);
+                }
+                Ok(DurationStore::LogBucketed {
+                    edges: Arc::new(log_bucket_edges()),
+                    counts,
+                })
             }
         }
     }
@@ -636,7 +686,9 @@ impl StreamConfig {
     }
 
     /// Returns a copy retaining only the `panes` most recent full window
-    /// states (the compact pane series always stays complete).
+    /// states (the compact pane series always stays complete). `0` keeps no
+    /// full states at all — the summary's `recent_windows` comes back empty
+    /// and only the compact [`PaneSummary`] series survives.
     #[must_use = "with_* builders return a new value instead of mutating in place"]
     pub fn with_retained_panes(mut self, panes: usize) -> Self {
         self.retained_panes = panes;
@@ -677,6 +729,210 @@ struct OpenConn {
     slot: u32,
     direction: Direction,
     opened_at: SimTime,
+}
+
+/// Version tag leading every [`StreamingMonitor::state_snapshot`]; bumped on
+/// incompatible layout changes so an old daemon never misparses a new
+/// checkpoint.
+const STATE_SNAPSHOT_VERSION: u8 = 1;
+
+fn put_opt_u32(w: &mut ByteWriter, value: Option<u32>) {
+    match value {
+        Some(v) => {
+            w.put_u8(1);
+            w.put_uvarint(v as u64);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn read_opt_u32(
+    r: &mut ByteReader<'_>,
+    context: &'static str,
+) -> Result<Option<u32>, ArchiveError> {
+    match r.u8(context)? {
+        0 => Ok(None),
+        1 => Ok(Some(read_u32(r, context)?)),
+        tag => Err(ArchiveError::Malformed {
+            context: format!("invalid option tag {tag} in {context}"),
+        }),
+    }
+}
+
+fn read_u32(r: &mut ByteReader<'_>, context: &'static str) -> Result<u32, ArchiveError> {
+    let v = r.uvarint(context)?;
+    u32::try_from(v).map_err(|_| ArchiveError::Malformed {
+        context: format!("{context} value {v} exceeds u32"),
+    })
+}
+
+fn encode_stream_config(w: &mut ByteWriter, config: &StreamConfig) {
+    w.put_str(&config.observer);
+    w.put_u8(u8::from(config.dht_server));
+    w.put_uvarint(config.started_at.as_millis());
+    w.put_uvarint(config.ended_at.as_millis());
+    match config.close_quantisation {
+        Some(step) => {
+            w.put_u8(1);
+            w.put_uvarint(step.as_millis());
+        }
+        None => w.put_u8(0),
+    }
+    w.put_uvarint(config.snapshot_interval.as_millis());
+    w.put_uvarint(config.window.as_millis());
+    w.put_u8(match config.duration_mode {
+        DurationMode::Exact => 0,
+        DurationMode::LogBucketed => 1,
+    });
+    w.put_uvarint(config.retained_panes as u64);
+}
+
+fn decode_stream_config(r: &mut ByteReader<'_>) -> Result<StreamConfig, ArchiveError> {
+    let observer = r.str("config observer")?.to_string();
+    let dht_server = match r.u8("config role")? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(ArchiveError::Malformed {
+                context: format!("invalid bool byte {tag} in config role"),
+            })
+        }
+    };
+    let started_at = SimTime::from_millis(r.uvarint("config start")?);
+    let ended_at = SimTime::from_millis(r.uvarint("config end")?);
+    let close_quantisation = match r.u8("config quantisation tag")? {
+        0 => None,
+        1 => Some(SimDuration::from_millis(r.uvarint("config quantisation")?)),
+        tag => {
+            return Err(ArchiveError::Malformed {
+                context: format!("invalid option tag {tag} in config quantisation"),
+            })
+        }
+    };
+    let snapshot_interval = SimDuration::from_millis(r.uvarint("config snapshot interval")?);
+    let window = SimDuration::from_millis(r.uvarint("config window")?);
+    let duration_mode = match r.u8("config duration mode")? {
+        0 => DurationMode::Exact,
+        1 => DurationMode::LogBucketed,
+        tag => {
+            return Err(ArchiveError::Malformed {
+                context: format!("unknown duration mode tag {tag}"),
+            })
+        }
+    };
+    let retained_panes = r.uvarint("config retained panes")? as usize;
+    Ok(StreamConfig {
+        observer,
+        dht_server,
+        started_at,
+        ended_at,
+        close_quantisation,
+        snapshot_interval,
+        window,
+        duration_mode,
+        retained_panes,
+    })
+}
+
+fn encode_window_state(w: &mut ByteWriter, state: &WindowState) {
+    w.put_uvarint(state.opened);
+    w.put_uvarint(state.closed);
+    w.put_uvarint(state.identifies);
+    w.put_uvarint(state.discoveries);
+    w.put_u128(state.dur_ms_sum);
+    w.put_uvarint(state.dur_hist.len() as u64);
+    for (&dur, &count) in &state.dur_hist {
+        w.put_uvarint(dur);
+        w.put_uvarint(count);
+    }
+    w.put_uvarint(state.peer_events.len() as u64);
+    for (&slot, &count) in &state.peer_events {
+        w.put_uvarint(slot as u64);
+        w.put_uvarint(count);
+    }
+}
+
+fn decode_window_state(r: &mut ByteReader<'_>) -> Result<WindowState, ArchiveError> {
+    let opened = r.uvarint("window opened")?;
+    let closed = r.uvarint("window closed")?;
+    let identifies = r.uvarint("window identifies")?;
+    let discoveries = r.uvarint("window discoveries")?;
+    let dur_ms_sum = r.u128("window duration sum")?;
+    let count = r.len("window duration hist count")?;
+    let mut dur_hist = BTreeMap::new();
+    for _ in 0..count {
+        let dur = r.uvarint("window duration")?;
+        dur_hist.insert(dur, r.uvarint("window duration count")?);
+    }
+    let count = r.len("window peer event count")?;
+    let mut peer_events = BTreeMap::new();
+    for _ in 0..count {
+        let slot = read_u32(r, "window peer slot")?;
+        peer_events.insert(slot, r.uvarint("window peer event count")?);
+    }
+    Ok(WindowState {
+        opened,
+        closed,
+        identifies,
+        discoveries,
+        dur_ms_sum,
+        dur_hist,
+        peer_events,
+    })
+}
+
+fn encode_pane_summary(w: &mut ByteWriter, pane: &PaneSummary) {
+    w.put_uvarint(pane.index);
+    w.put_uvarint(pane.start.as_millis());
+    w.put_uvarint(pane.end.as_millis());
+    w.put_uvarint(pane.opened);
+    w.put_uvarint(pane.closed);
+    w.put_uvarint(pane.identifies);
+    w.put_uvarint(pane.discoveries);
+    w.put_u128(pane.dur_ms_sum);
+    w.put_uvarint(pane.active_peers as u64);
+    w.put_uvarint(pane.open_connections as u64);
+    w.put_uvarint(pane.known_pids as u64);
+    w.put_uvarint(pane.connected_pids as u64);
+}
+
+fn decode_pane_summary(r: &mut ByteReader<'_>) -> Result<PaneSummary, ArchiveError> {
+    Ok(PaneSummary {
+        index: r.uvarint("pane index")?,
+        start: SimTime::from_millis(r.uvarint("pane start")?),
+        end: SimTime::from_millis(r.uvarint("pane end")?),
+        opened: r.uvarint("pane opened")?,
+        closed: r.uvarint("pane closed")?,
+        identifies: r.uvarint("pane identifies")?,
+        discoveries: r.uvarint("pane discoveries")?,
+        dur_ms_sum: r.u128("pane duration sum")?,
+        active_peers: r.uvarint("pane active peers")? as usize,
+        open_connections: r.uvarint("pane open connections")? as usize,
+        known_pids: r.uvarint("pane known pids")? as usize,
+        connected_pids: r.uvarint("pane connected pids")? as usize,
+    })
+}
+
+fn encode_window_snapshot(w: &mut ByteWriter, snapshot: &WindowSnapshot) {
+    w.put_uvarint(snapshot.index);
+    w.put_uvarint(snapshot.start.as_millis());
+    w.put_uvarint(snapshot.end.as_millis());
+    encode_window_state(w, &snapshot.state);
+    w.put_uvarint(snapshot.open_connections as u64);
+    w.put_uvarint(snapshot.known_pids as u64);
+    w.put_uvarint(snapshot.connected_pids as u64);
+}
+
+fn decode_window_snapshot(r: &mut ByteReader<'_>) -> Result<WindowSnapshot, ArchiveError> {
+    Ok(WindowSnapshot {
+        index: r.uvarint("snapshot index")?,
+        start: SimTime::from_millis(r.uvarint("snapshot start")?),
+        end: SimTime::from_millis(r.uvarint("snapshot end")?),
+        state: decode_window_state(r)?,
+        open_connections: r.uvarint("snapshot open connections")? as usize,
+        known_pids: r.uvarint("snapshot known pids")? as usize,
+        connected_pids: r.uvarint("snapshot connected pids")? as usize,
+    })
 }
 
 /// The incremental single-pass estimator engine.
@@ -757,7 +1013,7 @@ impl StreamingMonitor {
             + self
                 .slots
                 .values()
-                .map(|s| s.identify_ids.capacity() * size_of::<u32>())
+                .map(|s| s.identify_ids.len() * size_of::<u32>())
                 .sum::<usize>()
             + self.open.len() * map_entry(size_of::<u64>(), size_of::<OpenConn>())
             + self.conn_addr_ids.len() * map_entry(size_of::<u32>(), 0)
@@ -766,7 +1022,7 @@ impl StreamingMonitor {
             + self.censored_durs.approx_bytes()
             + self.connected.len() * map_entry(size_of::<u32>(), size_of::<u32>())
             + self.pane.approx_bytes()
-            + self.panes.capacity() * size_of::<PaneSummary>()
+            + self.panes.len() * size_of::<PaneSummary>()
             + self
                 .recent_windows
                 .iter()
@@ -781,10 +1037,249 @@ impl StreamingMonitor {
         }
     }
 
+    /// The configuration the monitor was created with.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Events ingested so far — the serve daemon's resume cursor: a client
+    /// continuing after a restore skips exactly this many rows of its feed.
+    pub fn events_ingested(&self) -> u64 {
+        self.events
+    }
+
+    /// Serialises the complete engine state — configuration, per-slot
+    /// aggregates, the open-connection table, duration stores, gauge and
+    /// window machinery — into a self-contained byte string.
+    ///
+    /// [`Self::restore`] rebuilds a monitor that is indistinguishable from
+    /// this one: continuing both with the same events yields byte-identical
+    /// [`StreamSummary`]s (pinned by `tests/serve_differential.rs`). That is
+    /// the crash-recovery contract of the serve daemon, and it works because
+    /// every piece of monitor state is either a plain counter, an exact
+    /// multiset, or a [`WindowState`] — a commutative monoid whose panes
+    /// serialise value-exactly.
+    ///
+    /// Hash-map contents are written in sorted key order, so the snapshot of
+    /// a given state is deterministic down to the byte.
+    pub fn state_snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(STATE_SNAPSHOT_VERSION);
+        encode_stream_config(&mut w, &self.config);
+
+        let mut slots: Vec<(&u32, &SlotAgg)> = self.slots.iter().collect();
+        slots.sort_by_key(|&(slot, _)| *slot);
+        w.put_uvarint(slots.len() as u64);
+        for (&slot, agg) in slots {
+            w.put_uvarint(slot as u64);
+            w.put_uvarint(agg.connections);
+            w.put_f64(agg.duration_sum_secs);
+            w.put_uvarint(agg.max_duration_ms);
+            put_opt_u32(&mut w, agg.first_addr_id);
+            w.put_uvarint(agg.identify_ids.len() as u64);
+            for &id in &agg.identify_ids {
+                w.put_uvarint(id as u64);
+            }
+        }
+
+        let mut open: Vec<(&u64, &OpenConn)> = self.open.iter().collect();
+        open.sort_by_key(|&(conn, _)| *conn);
+        w.put_uvarint(open.len() as u64);
+        for (&conn, oc) in open {
+            w.put_uvarint(conn);
+            w.put_uvarint(oc.slot as u64);
+            w.put_u8(match oc.direction {
+                Direction::Inbound => 0,
+                Direction::Outbound => 1,
+            });
+            w.put_uvarint(oc.opened_at.as_millis());
+        }
+
+        let mut addr_ids: Vec<u32> = self.conn_addr_ids.iter().copied().collect();
+        addr_ids.sort_unstable();
+        w.put_uvarint(addr_ids.len() as u64);
+        for id in addr_ids {
+            w.put_uvarint(id as u64);
+        }
+
+        w.put_uvarint(self.inbound_count);
+        w.put_uvarint(self.outbound_count);
+        self.inbound_durs.encode(&mut w);
+        self.outbound_durs.encode(&mut w);
+        self.censored_durs.encode(&mut w);
+        w.put_uvarint(self.closes_with_reason);
+        w.put_uvarint(self.trimmed_closes);
+        w.put_uvarint(self.events);
+
+        w.put_uvarint(self.next_snapshot.as_millis());
+        w.put_uvarint(self.open_count as u64);
+        let mut connected: Vec<(&u32, &u32)> = self.connected.iter().collect();
+        connected.sort_by_key(|&(slot, _)| *slot);
+        w.put_uvarint(connected.len() as u64);
+        for (&slot, &count) in connected {
+            w.put_uvarint(slot as u64);
+            w.put_uvarint(count as u64);
+        }
+        w.put_uvarint(self.max_open as u64);
+
+        w.put_uvarint(self.pane_start.as_millis());
+        w.put_uvarint(self.pane_index);
+        encode_window_state(&mut w, &self.pane);
+        w.put_uvarint(self.panes.len() as u64);
+        for pane in &self.panes {
+            encode_pane_summary(&mut w, pane);
+        }
+        w.put_uvarint(self.recent_windows.len() as u64);
+        for snapshot in &self.recent_windows {
+            encode_window_snapshot(&mut w, snapshot);
+        }
+        w.put_uvarint(self.peak_state_bytes as u64);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a monitor from a [`Self::state_snapshot`]. Truncated or
+    /// otherwise corrupt snapshots are rejected with a typed
+    /// [`ArchiveError`]; they never produce a silently-wrong monitor.
+    pub fn restore(bytes: &[u8]) -> Result<StreamingMonitor, ArchiveError> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u8("state snapshot version")?;
+        if version != STATE_SNAPSHOT_VERSION {
+            return Err(ArchiveError::Malformed {
+                context: format!(
+                    "unsupported monitor state version {version} (this build reads {STATE_SNAPSHOT_VERSION})"
+                ),
+            });
+        }
+        let config = decode_stream_config(&mut r)?;
+        let mode = config.duration_mode;
+
+        let count = r.len("slot aggregate count")?;
+        let mut slots = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let slot = read_u32(&mut r, "slot id")?;
+            let connections = r.uvarint("slot connections")?;
+            let duration_sum_secs = r.f64("slot duration sum")?;
+            let max_duration_ms = r.uvarint("slot max duration")?;
+            let first_addr_id = read_opt_u32(&mut r, "slot first addr")?;
+            let id_count = r.len("slot identify count")?;
+            let mut identify_ids = Vec::with_capacity(id_count);
+            for _ in 0..id_count {
+                identify_ids.push(read_u32(&mut r, "slot identify id")?);
+            }
+            slots.insert(
+                slot,
+                SlotAgg {
+                    connections,
+                    duration_sum_secs,
+                    max_duration_ms,
+                    first_addr_id,
+                    identify_ids,
+                },
+            );
+        }
+
+        let count = r.len("open connection count")?;
+        let mut open = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let conn = r.uvarint("open conn id")?;
+            let slot = read_u32(&mut r, "open conn slot")?;
+            let direction = match r.u8("open conn direction")? {
+                0 => Direction::Inbound,
+                1 => Direction::Outbound,
+                tag => {
+                    return Err(ArchiveError::Malformed {
+                        context: format!("unknown direction tag {tag}"),
+                    })
+                }
+            };
+            let opened_at = SimTime::from_millis(r.uvarint("open conn time")?);
+            open.insert(
+                conn,
+                OpenConn {
+                    slot,
+                    direction,
+                    opened_at,
+                },
+            );
+        }
+
+        let count = r.len("connection addr count")?;
+        let mut conn_addr_ids = HashSet::with_capacity(count);
+        for _ in 0..count {
+            conn_addr_ids.insert(read_u32(&mut r, "connection addr id")?);
+        }
+
+        let inbound_count = r.uvarint("inbound count")?;
+        let outbound_count = r.uvarint("outbound count")?;
+        let inbound_durs = DurationStore::decode(&mut r, mode)?;
+        let outbound_durs = DurationStore::decode(&mut r, mode)?;
+        let censored_durs = DurationStore::decode(&mut r, mode)?;
+        let closes_with_reason = r.uvarint("closes with reason")?;
+        let trimmed_closes = r.uvarint("trimmed closes")?;
+        let events = r.uvarint("event count")?;
+
+        let next_snapshot = SimTime::from_millis(r.uvarint("next snapshot")?);
+        let open_count = r.uvarint("open gauge")? as usize;
+        let count = r.len("connected slot count")?;
+        let mut connected = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let slot = read_u32(&mut r, "connected slot")?;
+            connected.insert(slot, read_u32(&mut r, "connected slot refcount")?);
+        }
+        let max_open = r.uvarint("max open gauge")? as usize;
+
+        let pane_start = SimTime::from_millis(r.uvarint("pane start")?);
+        let pane_index = r.uvarint("pane index")?;
+        let pane = decode_window_state(&mut r)?;
+        let count = r.len("pane summary count")?;
+        let mut panes = Vec::with_capacity(count);
+        for _ in 0..count {
+            panes.push(decode_pane_summary(&mut r)?);
+        }
+        let count = r.len("retained window count")?;
+        let mut recent_windows = std::collections::VecDeque::with_capacity(count);
+        for _ in 0..count {
+            recent_windows.push_back(decode_window_snapshot(&mut r)?);
+        }
+        let peak_state_bytes = r.uvarint("peak state bytes")? as usize;
+        r.finish("monitor state snapshot")?;
+
+        Ok(StreamingMonitor {
+            config,
+            slots,
+            open,
+            conn_addr_ids,
+            inbound_count,
+            outbound_count,
+            inbound_durs,
+            outbound_durs,
+            censored_durs,
+            closes_with_reason,
+            trimmed_closes,
+            events,
+            next_snapshot,
+            open_count,
+            connected,
+            max_open,
+            pane_start,
+            pane_index,
+            pane,
+            panes,
+            recent_windows,
+            peak_state_bytes,
+        })
+    }
+
     /// Advances the load-gauge ticks up to `at` (inclusive), mirroring the
     /// batch monitors' snapshot flush: gauges are sampled *before* the event
-    /// at `at` is applied.
+    /// at `at` is applied. A zero interval disables the gauge loop entirely
+    /// (the same guard [`Self::flush_panes`] applies to a zero window) —
+    /// without it, `next_snapshot += 0` would never advance and the first
+    /// event would spin forever.
     fn flush_snapshots(&mut self, at: SimTime) {
+        if self.config.snapshot_interval.is_zero() {
+            return;
+        }
         while self.next_snapshot <= at {
             if self.open_count > self.max_open {
                 self.max_open = self.open_count;
@@ -821,11 +1316,20 @@ impl StreamingMonitor {
         };
         self.panes.push(snapshot.summary());
         self.recent_windows.push_back(snapshot);
-        while self.recent_windows.len() > self.config.retained_panes.max(1) {
-            self.recent_windows.pop_front();
-        }
+        self.evict_panes();
         self.pane_index += 1;
         self.note_peak();
+    }
+
+    /// Drops the oldest full window states until at most
+    /// [`StreamConfig::retained_panes`] remain — the single eviction site.
+    /// `retained_panes == 0` genuinely keeps zero full states (compact
+    /// [`PaneSummary`] series only); it used to be silently clamped to 1,
+    /// contradicting the builder doc.
+    fn evict_panes(&mut self) {
+        while self.recent_windows.len() > self.config.retained_panes {
+            self.recent_windows.pop_front();
+        }
     }
 
     fn before_event(&mut self, at: SimTime) {
@@ -875,7 +1379,15 @@ impl StreamingMonitor {
     /// summary — the post-hoc path, byte-identical to having run live as a
     /// teed sink (pinned by the differential suite).
     pub fn ingest_log(mut self, log: &ObserverLog) -> StreamSummary {
-        let table = log.table();
+        self.ingest_table(log.table());
+        self.finish(log.registry())
+    }
+
+    /// Replays every row of an [`ObservationTable`] through the engine
+    /// without finalising — the serve daemon's batch-ingest step. Rows must
+    /// be in chronological order and arrive after everything already
+    /// ingested, the same contract the live sink has.
+    pub fn ingest_table(&mut self, table: &ObservationTable) {
         for i in 0..table.len() {
             let at = table.at(i);
             let slot = table.peer_slot_at(i);
@@ -902,7 +1414,6 @@ impl StreamingMonitor {
                 }
             }
         }
-        self.finish(log.registry())
     }
 
     /// Finalises the pass: closes still-open connections at the measurement
@@ -939,9 +1450,7 @@ impl StreamingMonitor {
         };
         self.panes.push(snapshot.summary());
         self.recent_windows.push_back(snapshot);
-        while self.recent_windows.len() > self.config.retained_panes.max(1) {
-            self.recent_windows.pop_front();
-        }
+        self.evict_panes();
         self.note_peak();
 
         let mut distinct_ips: BTreeSet<IpAddress> = BTreeSet::new();
@@ -1425,6 +1934,141 @@ mod tests {
             assert_eq!(a.streams, b.streams);
             assert_eq!(a.batch.primary(), b.batch.primary());
         }
+    }
+
+    #[test]
+    fn zero_snapshot_interval_does_not_hang() {
+        // Regression: `flush_snapshots` looped forever on the first event
+        // because `next_snapshot += 0` never advances.
+        let mut config = go_ipfs_config(600);
+        config.snapshot_interval = SimDuration::ZERO;
+        let summary = StreamingMonitor::new(config).ingest_log(&sample_log());
+        assert_eq!(summary.connections, 2);
+        // No gauge ticks fire, so the max-open gauge never samples.
+        assert_eq!(summary.max_open_connections, 0);
+        // Panes still flush: the window machinery has its own guard.
+        assert_eq!(summary.panes.len(), 7);
+    }
+
+    #[test]
+    fn retained_panes_zero_keeps_only_the_compact_series() {
+        // Regression: `with_retained_panes(0)` silently clamped to 1.
+        let config = go_ipfs_config(600).with_retained_panes(0);
+        let summary = StreamingMonitor::new(config).ingest_log(&sample_log());
+        assert_eq!(summary.panes.len(), 7, "compact series always complete");
+        assert!(summary.recent_windows.is_empty(), "0 keeps zero full states");
+
+        let config = go_ipfs_config(600).with_retained_panes(1);
+        let summary = StreamingMonitor::new(config).ingest_log(&sample_log());
+        assert_eq!(summary.panes.len(), 7);
+        assert_eq!(summary.recent_windows.len(), 1);
+        assert_eq!(
+            summary.recent_windows[0].index,
+            summary.panes.last().unwrap().index,
+            "the one retained state is the newest pane"
+        );
+    }
+
+    /// Ingests the first `split` events of `log` into one monitor, round-trips
+    /// it through the snapshot codec, feeds the rest, and checks the summary
+    /// against an uninterrupted run — the serve daemon's crash-recovery path.
+    fn assert_snapshot_resumes(log: &ObserverLog, config: StreamConfig, split: usize) {
+        let table = log.table();
+        let uninterrupted = StreamingMonitor::new(config.clone()).ingest_log(log);
+
+        let mut first = StreamingMonitor::new(config);
+        for i in 0..split.min(table.len()) {
+            let mut chunk = ObservationTable::new();
+            copy_row(table, i, &mut chunk);
+            first.ingest_table(&chunk);
+        }
+        let bytes = first.state_snapshot();
+        let mut resumed = StreamingMonitor::restore(&bytes).expect("snapshot must restore");
+        assert_eq!(resumed, first, "restored monitor must equal the original");
+        for i in split.min(table.len())..table.len() {
+            let mut chunk = ObservationTable::new();
+            copy_row(table, i, &mut chunk);
+            resumed.ingest_table(&chunk);
+        }
+        let summary = resumed.finish(log.registry());
+        assert_eq!(
+            format!("{summary:?}"),
+            format!("{uninterrupted:?}"),
+            "resume at event {split} must be byte-identical"
+        );
+    }
+
+    fn copy_row(table: &ObservationTable, i: usize, into: &mut ObservationTable) {
+        let at = table.at(i);
+        let slot = table.peer_slot_at(i);
+        match table.kind_at(i) {
+            kind @ (ObservationKind::OpenedInbound | ObservationKind::OpenedOutbound) => {
+                into.connection_opened(
+                    at,
+                    table.conn_at(i).unwrap(),
+                    slot,
+                    kind.direction().unwrap(),
+                    table.payload_at(i),
+                );
+            }
+            ObservationKind::Closed => {
+                into.connection_closed(
+                    at,
+                    table.conn_at(i).unwrap(),
+                    slot,
+                    close_reason_from_payload(table.payload_at(i)),
+                );
+            }
+            ObservationKind::Identify => into.identify_received(at, slot, table.payload_at(i)),
+            ObservationKind::Discovered => into.peer_discovered(at, slot, table.payload_at(i)),
+        }
+    }
+
+    #[test]
+    fn state_snapshot_resumes_at_every_event() {
+        let log = sample_log();
+        for split in 0..=log.table().len() {
+            assert_snapshot_resumes(&log, go_ipfs_config(600), split);
+            assert_snapshot_resumes(
+                &log,
+                go_ipfs_config(600).with_duration_mode(DurationMode::LogBucketed),
+                split,
+            );
+            assert_snapshot_resumes(&log, go_ipfs_config(600).with_retained_panes(0), split);
+            assert_snapshot_resumes(
+                &log,
+                StreamConfig::hydra("hydra-h0", SimTime::ZERO, SimTime::from_hours(1), SimDuration::from_secs(600)),
+                split,
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_state_snapshots_are_rejected() {
+        let log = sample_log();
+        let mut monitor = StreamingMonitor::new(go_ipfs_config(600));
+        monitor.ingest_table(log.table());
+        let bytes = monitor.state_snapshot();
+        assert_eq!(StreamingMonitor::restore(&bytes).unwrap(), monitor);
+
+        // Truncation anywhere fails loudly.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                StreamingMonitor::restore(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage is corruption too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(StreamingMonitor::restore(&padded).is_err());
+        // A wrong version byte is rejected before anything is parsed.
+        let mut wrong = bytes.clone();
+        wrong[0] = 99;
+        assert!(matches!(
+            StreamingMonitor::restore(&wrong),
+            Err(ArchiveError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -764,11 +764,11 @@ fn decode_registry(
 // Column codecs (ObservationTable)
 // ---------------------------------------------------------------------------
 
-fn encode_col_at(table: &ObservationTable) -> Vec<u8> {
+fn encode_col_at(ats: &[SimTime]) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    w.put_uvarint(table.len() as u64);
+    w.put_uvarint(ats.len() as u64);
     let mut prev: u64 = 0;
-    for (i, at) in table.ats().iter().enumerate() {
+    for (i, at) in ats.iter().enumerate() {
         let ms = at.as_millis();
         if i == 0 {
             w.put_uvarint(ms);
@@ -801,10 +801,10 @@ fn decode_col_at(payload: &[u8]) -> Result<Vec<SimTime>, ArchiveError> {
     Ok(out)
 }
 
-fn encode_col_kind(table: &ObservationTable) -> Vec<u8> {
+fn encode_col_kind(kinds: &[ObservationKind]) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    w.put_uvarint(table.len() as u64);
-    for &kind in table.kinds() {
+    w.put_uvarint(kinds.len() as u64);
+    for &kind in kinds {
         w.put_u8(kind as u8);
     }
     w.into_bytes()
@@ -849,10 +849,10 @@ fn decode_col_u32s(payload: &[u8], what: &'static str) -> Result<Vec<u32>, Archi
 /// `NO_CONN` (`u64::MAX`) would be a worst-case 10-byte varint on the most
 /// common non-connection rows, so the conn column stores `0` for it and
 /// `conn + 1` otherwise.
-fn encode_col_conn(table: &ObservationTable) -> Vec<u8> {
+fn encode_col_conn(conns: &[u64]) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    w.put_uvarint(table.len() as u64);
-    for &conn in table.conns() {
+    w.put_uvarint(conns.len() as u64);
+    for &conn in conns {
         if conn == crate::obs::NO_CONN {
             w.put_uvarint(0);
         } else {
@@ -875,6 +875,177 @@ fn decode_col_conn(payload: &[u8]) -> Result<Vec<u64>, ArchiveError> {
     }
     r.finish("conn column")?;
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs: event blocks and registry deltas
+// ---------------------------------------------------------------------------
+
+/// Encodes rows `from..to` of an observation table as a self-contained
+/// columnar event block: the same five column codecs the archive writer
+/// uses, length-prefixed and concatenated so a single payload can travel
+/// over a stream protocol (the serve daemon's binary frames) without the
+/// surrounding archive container.
+///
+/// # Panics
+///
+/// Panics if `from..to` is not a valid row range of `table`.
+pub fn encode_event_block(table: &ObservationTable, from: usize, to: usize) -> Vec<u8> {
+    assert!(
+        from <= to && to <= table.len(),
+        "event block range {from}..{to} out of bounds for {} rows",
+        table.len()
+    );
+    let mut w = ByteWriter::new();
+    w.put_bytes(&encode_col_at(&table.ats()[from..to]));
+    w.put_bytes(&encode_col_kind(&table.kinds()[from..to]));
+    w.put_bytes(&encode_col_u32s(&table.peer_slots()[from..to]));
+    w.put_bytes(&encode_col_conn(&table.conns()[from..to]));
+    w.put_bytes(&encode_col_u32s(&table.payloads()[from..to]));
+    w.into_bytes()
+}
+
+/// Decodes an event block produced by [`encode_event_block`] back into a
+/// standalone [`ObservationTable`] holding just those rows. Column ids
+/// (peer slots, address/payload ids, connection ids) are preserved verbatim;
+/// resolving them requires the registry the sender maintains via
+/// [`encode_registry_delta`] / [`apply_registry_delta`].
+pub fn decode_event_block(payload: &[u8]) -> Result<ObservationTable, ArchiveError> {
+    let mut r = ByteReader::new(payload);
+    let at = decode_col_at(r.bytes("event block at column")?)?;
+    let kind = decode_col_kind(r.bytes("event block kind column")?)?;
+    let peer_slot = decode_col_u32s(r.bytes("event block peer column")?, "peer slot")?;
+    let conn = decode_col_conn(r.bytes("event block conn column")?)?;
+    let payload_col = decode_col_u32s(r.bytes("event block payload column")?, "payload id")?;
+    r.finish("event block")?;
+    let n = at.len();
+    if kind.len() != n || peer_slot.len() != n || conn.len() != n || payload_col.len() != n {
+        return Err(malformed(format!(
+            "event block columns disagree: at={n} kind={} peer_slot={} conn={} payload={}",
+            kind.len(),
+            peer_slot.len(),
+            conn.len(),
+            payload_col.len()
+        )));
+    }
+    Ok(ObservationTable::from_columns(
+        at,
+        kind,
+        peer_slot,
+        conn,
+        payload_col,
+    ))
+}
+
+/// Encodes every registry entry past the `(from_peers, from_addrs,
+/// from_infos)` cursor as an incremental dictionary delta. The base counts
+/// are recorded in the payload so the receiver can verify its own registry
+/// is exactly at the cursor before appending — dense ids stay aligned on
+/// both sides by construction. A delta from `(0, 0, 0)` is a full registry
+/// serialization.
+///
+/// # Panics
+///
+/// Panics if any cursor component exceeds the registry's current counts.
+pub fn encode_registry_delta(
+    registry: &IdentifyRegistry,
+    from_peers: usize,
+    from_addrs: usize,
+    from_infos: usize,
+) -> Vec<u8> {
+    assert!(
+        from_peers <= registry.peer_count()
+            && from_addrs <= registry.addr_count()
+            && from_infos <= registry.identify_count(),
+        "registry delta cursor ({from_peers}, {from_addrs}, {from_infos}) past registry counts"
+    );
+    let mut w = ByteWriter::new();
+    w.put_uvarint(from_peers as u64);
+    w.put_uvarint(from_addrs as u64);
+    w.put_uvarint(from_infos as u64);
+    w.put_uvarint((registry.peer_count() - from_peers) as u64);
+    for slot in from_peers as u32..registry.peer_count() as u32 {
+        put_peer(&mut w, &registry.peer(slot));
+    }
+    w.put_uvarint((registry.addr_count() - from_addrs) as u64);
+    for id in from_addrs as u32..registry.addr_count() as u32 {
+        put_addr(&mut w, &registry.addr(id));
+    }
+    w.put_uvarint((registry.identify_count() - from_infos) as u64);
+    for id in from_infos as u32..registry.identify_count() as u32 {
+        put_identify(&mut w, registry.identify(id));
+    }
+    w.into_bytes()
+}
+
+/// Applies a delta produced by [`encode_registry_delta`] to a registry that
+/// is exactly at the delta's base cursor, appending the new peers,
+/// addresses and identify payloads so both sides agree on every dense id.
+///
+/// Fails with [`ArchiveError::Malformed`] when the receiver's counts do not
+/// match the base cursor (a skipped or replayed delta) or when an entry is
+/// already interned (the dense-id alignment would silently break: the
+/// registry dedups, so a duplicate would map to an old id while the sender
+/// keeps referencing the new one).
+pub fn apply_registry_delta(
+    registry: &mut IdentifyRegistry,
+    payload: &[u8],
+) -> Result<(), ArchiveError> {
+    let mut r = ByteReader::new(payload);
+    // The base cursors count entries the *receiver* already holds, not
+    // entries present in this payload, so they are read as plain varints —
+    // `ByteReader::len` would reject an empty delta whose base exceeds the
+    // few bytes of the payload.
+    let cursor = |r: &mut ByteReader, context: &'static str| -> Result<usize, ArchiveError> {
+        let v = r.uvarint(context)?;
+        usize::try_from(v).map_err(|_| malformed(format!("cursor overflow in {context}")))
+    };
+    let base_peers = cursor(&mut r, "registry delta peer base")?;
+    let base_addrs = cursor(&mut r, "registry delta addr base")?;
+    let base_infos = cursor(&mut r, "registry delta identify base")?;
+    if base_peers != registry.peer_count()
+        || base_addrs != registry.addr_count()
+        || base_infos != registry.identify_count()
+    {
+        return Err(malformed(format!(
+            "registry delta base ({base_peers}, {base_addrs}, {base_infos}) does not match \
+             registry counts ({}, {}, {})",
+            registry.peer_count(),
+            registry.addr_count(),
+            registry.identify_count()
+        )));
+    }
+    let count = r.len("registry delta peer count")?;
+    for i in 0..count {
+        let peer = read_peer(&mut r)?;
+        let expected = (base_peers + i) as u32;
+        if registry.register_peer(peer) != expected {
+            return Err(malformed(format!(
+                "registry delta peer {i} duplicates an existing entry (expected slot {expected})"
+            )));
+        }
+    }
+    let count = r.len("registry delta addr count")?;
+    for i in 0..count {
+        let addr = read_addr(&mut r)?;
+        let expected = (base_addrs + i) as u32;
+        if registry.intern_addr(addr) != expected {
+            return Err(malformed(format!(
+                "registry delta addr {i} duplicates an existing entry (expected id {expected})"
+            )));
+        }
+    }
+    let count = r.len("registry delta identify count")?;
+    for i in 0..count {
+        let info = read_identify(&mut r)?;
+        let expected = (base_infos + i) as u32;
+        if registry.intern_identify(&info) != expected {
+            return Err(malformed(format!(
+                "registry delta identify {i} duplicates an existing entry (expected id {expected})"
+            )));
+        }
+    }
+    r.finish("registry delta")
 }
 
 // ---------------------------------------------------------------------------
@@ -1201,10 +1372,10 @@ pub fn encode_output(output: &SimulationOutput, meta: &[u8]) -> Result<Vec<u8>, 
     for (idx, log) in output.logs.iter().enumerate() {
         let owner = u32::try_from(idx).expect("observer count exceeds u32");
         let table = log.table();
-        writer.push_block(BK_COL_AT, owner, &encode_col_at(table));
-        writer.push_block(BK_COL_KIND, owner, &encode_col_kind(table));
+        writer.push_block(BK_COL_AT, owner, &encode_col_at(table.ats()));
+        writer.push_block(BK_COL_KIND, owner, &encode_col_kind(table.kinds()));
         writer.push_block(BK_COL_PEER_SLOT, owner, &encode_col_u32s(table.peer_slots()));
-        writer.push_block(BK_COL_CONN, owner, &encode_col_conn(table));
+        writer.push_block(BK_COL_CONN, owner, &encode_col_conn(table.conns()));
         writer.push_block(BK_COL_PAYLOAD, owner, &encode_col_u32s(table.payloads()));
     }
     writer.push_block(BK_GROUND_TRUTH, GLOBAL_OWNER, &encode_ground_truth(&output.ground_truth));
@@ -1383,8 +1554,125 @@ mod tests {
         for &t in &[5u64, 0, 9, 9, 2] {
             table.identify_received(SimTime::from_millis(t), 0, 0);
         }
-        let decoded = decode_col_at(&encode_col_at(&table)).unwrap();
+        let decoded = decode_col_at(&encode_col_at(table.ats())).unwrap();
         assert_eq!(decoded, table.ats());
+    }
+
+    fn wire_sample_table() -> ObservationTable {
+        let mut table = ObservationTable::new();
+        table.connection_opened(SimTime::from_secs(1), ConnectionId(3), 0, Direction::Inbound, 2);
+        table.identify_received(SimTime::from_secs(2), 0, 1);
+        table.peer_discovered(SimTime::from_secs(2), 1, 4);
+        table.connection_closed(SimTime::from_secs(9), ConnectionId(3), 0, CloseReason::PeerLeft);
+        table.connection_opened(SimTime::from_secs(11), ConnectionId(8), 1, Direction::Outbound, 4);
+        table
+    }
+
+    #[test]
+    fn event_block_roundtrips_every_row_range() {
+        let table = wire_sample_table();
+        for from in 0..=table.len() {
+            for to in from..=table.len() {
+                let decoded = decode_event_block(&encode_event_block(&table, from, to)).unwrap();
+                assert_eq!(decoded.len(), to - from, "range {from}..{to}");
+                assert_eq!(decoded.ats(), &table.ats()[from..to]);
+                assert_eq!(decoded.kinds(), &table.kinds()[from..to]);
+                assert_eq!(decoded.peer_slots(), &table.peer_slots()[from..to]);
+                assert_eq!(decoded.conns(), &table.conns()[from..to]);
+                assert_eq!(decoded.payloads(), &table.payloads()[from..to]);
+            }
+        }
+    }
+
+    #[test]
+    fn event_block_rejects_corruption() {
+        let table = wire_sample_table();
+        let block = encode_event_block(&table, 0, table.len());
+        for cut in [0, 1, block.len() / 2, block.len() - 1] {
+            assert!(
+                decode_event_block(&block[..cut]).is_err(),
+                "cut at {cut} was accepted"
+            );
+        }
+        let mut trailing = block.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_event_block(&trailing),
+            Err(ArchiveError::Malformed { .. })
+        ));
+    }
+
+    fn wire_sample_registry(peers: u64, addrs: u16, infos: u8) -> IdentifyRegistry {
+        let mut registry = IdentifyRegistry::new();
+        for i in 0..peers {
+            registry.register_peer(PeerId::derived(100 + i));
+        }
+        for i in 0..addrs {
+            registry.intern_addr(Multiaddr::new(IpAddress::V4(i as u32), Transport::Tcp, 4001));
+        }
+        for i in 0..infos {
+            registry.intern_identify(&IdentifyInfo::new(
+                AgentVersion::parse(&format!("go-ipfs/0.{i}.0/wire")),
+                ProtocolSet::go_ipfs_dht_server(),
+                vec![],
+            ));
+        }
+        registry
+    }
+
+    #[test]
+    fn registry_delta_streams_incrementally() {
+        let small = wire_sample_registry(2, 1, 1);
+        let mut mirror = IdentifyRegistry::new();
+        apply_registry_delta(&mut mirror, &encode_registry_delta(&small, 0, 0, 0)).unwrap();
+        assert_eq!(mirror.peer_count(), 2);
+        assert_eq!(mirror.addr_count(), 1);
+        assert_eq!(mirror.identify_count(), 1);
+
+        let grown = wire_sample_registry(4, 3, 2);
+        apply_registry_delta(&mut mirror, &encode_registry_delta(&grown, 2, 1, 1)).unwrap();
+        assert_eq!(mirror.peer_count(), 4);
+        for slot in 0..4u32 {
+            assert_eq!(mirror.peer(slot), grown.peer(slot));
+        }
+        for id in 0..3u32 {
+            assert_eq!(mirror.addr(id), grown.addr(id));
+        }
+        for id in 0..2u32 {
+            assert_eq!(mirror.identify(id), grown.identify(id));
+        }
+    }
+
+    #[test]
+    fn registry_delta_rejects_base_mismatch_and_duplicates() {
+        let registry = wire_sample_registry(3, 2, 1);
+        let delta = encode_registry_delta(&registry, 2, 1, 1);
+        let mut behind = wire_sample_registry(1, 1, 1);
+        assert!(matches!(
+            apply_registry_delta(&mut behind, &delta),
+            Err(ArchiveError::Malformed { .. })
+        ));
+
+        // Hand-craft a delta whose base matches but whose entry duplicates an
+        // existing peer: the registry would dedup it to an old slot, silently
+        // desyncing ids, so the decoder must reject it instead.
+        let mut receiver = wire_sample_registry(1, 0, 0);
+        let mut w = ByteWriter::new();
+        w.put_uvarint(1); // peer base
+        w.put_uvarint(0); // addr base
+        w.put_uvarint(0); // identify base
+        w.put_uvarint(1); // one "new" peer...
+        put_peer(&mut w, &receiver.peer(0)); // ...that is already interned
+        w.put_uvarint(0);
+        w.put_uvarint(0);
+        assert!(matches!(
+            apply_registry_delta(&mut receiver, &w.into_bytes()),
+            Err(ArchiveError::Malformed { .. })
+        ));
+
+        let mut truncated = wire_sample_registry(2, 1, 1);
+        let full = encode_registry_delta(&wire_sample_registry(3, 2, 1), 2, 1, 1);
+        assert!(apply_registry_delta(&mut truncated, &full[..full.len() - 1]).is_err());
     }
 
     fn sample_output() -> SimulationOutput {
